@@ -1,0 +1,33 @@
+"""Shared driver for the per-figure benchmark files.
+
+Each ``bench_figN_<app>.py`` regenerates one of the paper's result
+figures: it sweeps the full (approach x intra technique x node count)
+grid, prints the series the paper plots, evaluates the qualitative
+shape checks, and asserts that they hold — so a cost-model regression
+that flips a paper finding fails the benchmark suite.
+
+The pytest-benchmark timer measures one full figure regeneration
+(single round: a figure is a deterministic batch job, not a
+microbenchmark).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import run_figure
+
+
+def regenerate_figure(benchmark, figure_id: str, scale: str, seed: int) -> None:
+    result = benchmark.pedantic(
+        run_figure,
+        args=(figure_id,),
+        kwargs={"scale": scale, "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.to_text())
+    failed = [c for c in result.checks if not c.passed]
+    assert not failed, (
+        f"{figure_id}: {len(failed)} shape check(s) failed:\n"
+        + "\n".join(c.line() for c in failed)
+    )

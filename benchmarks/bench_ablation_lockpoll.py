@@ -1,0 +1,30 @@
+"""Ablation A-1: MPI_Win_lock polling-interval sweep.
+
+The paper attributes the MPI+MPI ``X+SS`` penalty to lock polling
+(Zhao et al. [38]).  This ablation sweeps the polling interval and
+shows the penalty is a monotone function of it — i.e. a lock
+*implementation* artefact, not intrinsic to the hierarchy.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.ablations import ablation_lockpoll
+
+
+def test_ablation_lockpoll(benchmark, scale, seed):
+    report = benchmark.pedantic(
+        ablation_lockpoll,
+        kwargs={"scale": scale, "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    # parse the penalty column and assert it grows with the interval
+    penalties = [
+        float(line.split()[3].rstrip("x"))
+        for line in report.splitlines()
+        if line.strip().endswith(tuple("0123456789")) and " us " in line
+    ]
+    assert len(penalties) >= 3
+    assert penalties[-1] > penalties[0], (
+        f"penalty should grow with the polling interval: {penalties}"
+    )

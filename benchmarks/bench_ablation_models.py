@@ -1,0 +1,24 @@
+"""Ablation A-2: hierarchical MPI+MPI vs flat vs master-worker.
+
+Quantifies what the paper's hierarchy buys over (a) the flat
+distributed chunk calculation it extends [15] and (b) the classic
+centralised master-worker tools (DLB tool [10]) whose bottleneck
+motivated hierarchical DLS in the first place (paper Sec. 2).
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.ablations import ablation_models
+
+
+def test_ablation_models(benchmark, scale, seed):
+    report = benchmark.pedantic(
+        ablation_models,
+        kwargs={"scale": scale, "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    assert "finding:" in report
+    # the hierarchical model must beat master-worker at the largest size
+    factor = float(report.split("is ")[-1].split("x faster")[0])
+    assert factor > 1.0

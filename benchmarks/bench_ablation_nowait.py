@@ -1,0 +1,31 @@
+"""Ablation A-3: the OpenMP ``nowait`` future-work variant (paper Sec. 6).
+
+The paper defers evaluating a nowait-based MPI+OpenMP implementation
+(threads fetching chunks themselves through serialised MPI calls) to
+future work.  Our simulated OpenMP runtime implements it, so we can
+answer the question the paper poses: how much of the implicit-barrier
+cost does nowait recover, and does it reach MPI+MPI?
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.ablations import ablation_nowait
+
+
+def test_ablation_nowait(benchmark, scale, seed):
+    report = benchmark.pedantic(
+        ablation_nowait,
+        kwargs={"scale": scale, "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    times = {}
+    for line in report.splitlines():
+        line = line.strip()
+        if line.startswith("MPI+") and line.endswith("s"):
+            label = line.rsplit(None, 1)[0]
+            times[label] = float(line.rsplit(None, 1)[1].rstrip("s"))
+    barrier = next(v for k, v in times.items() if "(barrier)" in k)
+    nowait = next(v for k, v in times.items() if "nowait" in k)
+    # removing the barrier must help on the imbalanced figure workload
+    assert nowait < barrier

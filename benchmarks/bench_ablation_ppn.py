@@ -1,0 +1,24 @@
+"""Ablation A-4: workers-per-node sensitivity.
+
+The paper fixes 16 workers per node.  This sweep shows how the two
+approaches respond to the intra-node worker count: the SS
+lock-contention penalty grows with ppn (more pollers on one window)
+while the X+STATIC advantage persists.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.ablations import ablation_ppn
+
+
+def test_ablation_ppn(benchmark, scale, seed):
+    report = benchmark.pedantic(
+        ablation_ppn,
+        kwargs={"scale": scale, "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    assert "finding:" in report
+    # sanity: the table has one row per swept ppn value
+    rows = [l for l in report.splitlines() if l.strip()[:2].strip().isdigit()]
+    assert len(rows) >= 3

@@ -1,0 +1,14 @@
+"""Regenerate paper Figure 5a: mandelbrot under GSS inter-node scheduling.
+
+Sweeps intra-node {STATIC, SS, GSS, TSS, FAC2} over {2, 4, 8, 16} nodes
+with 16 workers/node for both implementation approaches (MPI+OpenMP
+series exist only for the Intel-runtime schedules, as in the paper),
+prints the plotted series, and asserts the paper's qualitative shape
+checks.
+"""
+
+from benchmarks._figure_bench import regenerate_figure
+
+
+def test_fig5a_mandelbrot(benchmark, scale, seed):
+    regenerate_figure(benchmark, "fig5a", scale, seed)

@@ -1,0 +1,14 @@
+"""Regenerate paper Figure 6b: psia under TSS inter-node scheduling.
+
+Sweeps intra-node {STATIC, SS, GSS, TSS, FAC2} over {2, 4, 8, 16} nodes
+with 16 workers/node for both implementation approaches (MPI+OpenMP
+series exist only for the Intel-runtime schedules, as in the paper),
+prints the plotted series, and asserts the paper's qualitative shape
+checks.
+"""
+
+from benchmarks._figure_bench import regenerate_figure
+
+
+def test_fig6b_psia(benchmark, scale, seed):
+    regenerate_figure(benchmark, "fig6b", scale, seed)

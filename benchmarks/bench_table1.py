@@ -1,0 +1,21 @@
+"""Regenerate paper Table 1: DLS techniques vs OpenMP schedule clauses.
+
+The table is derived from the technique registry metadata, so this
+benchmark guards both the mapping's content and the (trivial) cost of
+generating it.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.tables import table1, table1_rows
+
+
+def test_table1(benchmark):
+    text = benchmark(table1)
+    emit(text)
+    rows = {r["technique"]: r["clause"] for r in table1_rows()}
+    assert rows == {
+        "STATIC": "schedule(static)",
+        "SS": "schedule(dynamic,1)",
+        "GSS": "schedule(guided,1)",
+    }
+    assert "LaPeSD-libGOMP" in text  # extension rows (paper Sec. 2)

@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark/figure-regeneration harness.
+
+Scale control: set ``REPRO_SCALE`` to ``tiny``/``quick``/``default``/
+``full`` (benchmarks default to ``quick``: 128x128 Mandelbrot, 16k
+spin images — the paper's qualitative shapes hold from ``quick`` up;
+``default``/``full`` raise resolution and run time).
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+regenerated paper series and shape-check PASS/FAIL lines.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    value = os.environ.get("REPRO_SCALE", "quick").lower()
+    allowed = ("tiny", "quick", "default", "full")
+    if value not in allowed:
+        raise ValueError(f"REPRO_SCALE must be one of {allowed}")
+    return value
+
+
+@pytest.fixture(scope="session")
+def seed() -> int:
+    return int(os.environ.get("REPRO_SEED", "0"))
+
+
+def emit(text: str) -> None:
+    """Print a report block (visible with -s, kept in captured logs)."""
+    print()
+    print(text)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Extending the library with a custom DLS technique.
+
+Implements "HALF-SS": chunks of half the per-PE remainder down to a
+floor, i.e. a crude FAC2/GSS hybrid — then plugs it into the same
+hierarchical execution models as the built-in techniques and verifies
+its schedule covers the loop exactly.
+
+Run:  python examples/custom_technique.py
+"""
+
+from repro import minihpc
+from repro.core.chunking import unroll, verify_schedule
+from repro.core.hierarchy import HierarchicalSpec, LevelSpec
+from repro.core.technique_base import ChunkCalculator, Technique, ceil_div
+from repro.core.techniques import TECHNIQUES
+from repro.models import MpiMpiModel
+from repro.workloads import mandelbrot_workload
+
+
+class _HalfSsCalculator(ChunkCalculator):
+    """C_i = max(floor, ceil(R_i / (2P)))."""
+
+    def __init__(self, name, n, p, floor=4):
+        super().__init__(name, n, p)
+        self.floor = floor
+
+    def _next_size(self, remaining, step):
+        return max(self.floor, ceil_div(remaining, 2 * self.p))
+
+
+class HalfSs(Technique):
+    name = "HALF-SS"
+    description = "Half the per-PE remainder per grab, floored at 4."
+
+    def make(self, n, p, **kwargs):
+        return _HalfSsCalculator(self.name, n, p)
+
+
+def main() -> None:
+    technique = HalfSs()
+
+    # 1. serial unrolling + invariant check
+    calc = technique.make(1000, 8)
+    chunks = unroll(calc)
+    verify_schedule(chunks, 1000)
+    print(f"HALF-SS on N=1000, P=8 -> {len(chunks)} chunks:")
+    print("  sizes:", [c.size for c in chunks][:12], "...")
+
+    # 2. optional: register it so string lookups work everywhere
+    TECHNIQUES[technique.name] = technique
+
+    # 3. use it as the intra-node technique of the MPI+MPI model
+    workload = mandelbrot_workload(width=96, height=96, max_iter=256)
+    spec = HierarchicalSpec(
+        inter=LevelSpec.of("GSS"),
+        intra=LevelSpec(technique=technique),
+    )
+    result = MpiMpiModel().run(
+        workload=workload, cluster=minihpc(2, 8), spec=spec, ppn=8, seed=0,
+    )
+    print(f"\nGSS+HALF-SS on 2x8 workers: T = {result.parallel_time:.4f}s")
+    print(f"  {result.metrics.summary()}")
+    print("\nschedule verified: every iteration executed exactly once "
+          "(the model asserts full coverage internally).")
+
+
+if __name__ == "__main__":
+    main()

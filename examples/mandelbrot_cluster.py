@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Mandelbrot strong-scaling study (the paper's Figure 5a, condensed).
+
+Renders the actual fractal (ASCII), then sweeps cluster sizes for the
+GSS+STATIC combination under both implementation approaches and prints
+times, speedups, and parallel efficiency.
+
+Run:  python examples/mandelbrot_cluster.py
+"""
+
+from repro import minihpc, run_hierarchical
+from repro.core.metrics import parallel_efficiency, speedup_series
+from repro.workloads.mandelbrot import escape_counts, mandelbrot_workload, render_ascii
+
+
+def main() -> None:
+    region = (-2.5, 1.0, -1.25, 0.0)  # the calibrated figure region
+    print("the workload (escape counts, lower half-plane):\n")
+    print(render_ascii(escape_counts(96, 48, 128, region), width=72))
+    print()
+
+    workload = mandelbrot_workload(
+        width=192, height=192, max_iter=512, region=region,
+        iter_time=0.5e-6, base_time=0.5e-6,
+    )
+    print(f"{workload}\n")
+
+    node_counts = (1, 2, 4, 8, 16)
+    print(f"{'nodes':>6} | {'mpi+openmp':>12} | {'mpi+mpi':>12} | {'gap':>6}")
+    print("-" * 48)
+    times = {"mpi+openmp": {}, "mpi+mpi": {}}
+    for nodes in node_counts:
+        row = [f"{nodes:>6}"]
+        for approach in ("mpi+openmp", "mpi+mpi"):
+            result = run_hierarchical(
+                workload, minihpc(nodes, 16), inter="GSS", intra="STATIC",
+                approach=approach, ppn=16, seed=0, collect_chunks=False,
+            )
+            times[approach][nodes] = result.parallel_time
+            row.append(f"{result.parallel_time:>11.4f}s")
+        gap = times["mpi+openmp"][nodes] / times["mpi+mpi"][nodes]
+        row.append(f"{gap:>5.2f}x")
+        print(" | ".join(row))
+
+    print("\nstrong scaling of the MPI+MPI approach:")
+    speedups = speedup_series(times["mpi+mpi"])
+    efficiency = parallel_efficiency(times["mpi+mpi"])
+    for nodes in node_counts:
+        bar = "#" * int(round(speedups[nodes] * 3))
+        print(f"  {nodes:>3} nodes: speedup {speedups[nodes]:>5.2f}x  "
+              f"eff {efficiency[nodes]:>5.1%}  {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Anatomy of the two-level work queue (the paper's Figure 1).
+
+Instruments one MPI+MPI run to show what the architecture actually
+does: how many chunks each node pulled from the global RMA queue, who
+refilled the local queues (the paper's "fastest process takes the
+responsibility"), and what the window-lock contention looked like.
+
+Run:  python examples/queue_anatomy.py
+"""
+
+from collections import Counter
+
+from repro import minihpc, run_hierarchical
+from repro.workloads import mandelbrot_workload
+
+
+def main() -> None:
+    workload = mandelbrot_workload(
+        width=128, height=128, max_iter=512,
+        region=(-2.5, 1.0, -1.25, 0.0),
+    )
+    result = run_hierarchical(
+        workload, minihpc(2, 8), inter="FAC2", intra="GSS",
+        approach="mpi+mpi", ppn=8, seed=0,
+        collect_chunks=True,
+    )
+    print(f"run: {result.describe()}\n")
+
+    # -- global work queue ------------------------------------------------
+    per_node = Counter(c.pe for c in result.chunks)
+    print("global work queue (RMA window on rank 0):")
+    print(f"  atomic operations:        {result.counters['global_atomics']}")
+    print(f"  of which cross-network:   {result.counters['remote_atomics']}")
+    for node, count in sorted(per_node.items()):
+        iters = sum(c.size for c in result.chunks if c.pe == node)
+        print(f"  node {node}: fetched {count} chunks covering {iters} iterations")
+
+    # -- local work queues -------------------------------------------------
+    print("\nlocal work queues (MPI-3 shared-memory windows):")
+    for node, stats in sorted(result.counters["lock_stats"].items()):
+        print(
+            f"  node {node}: {stats['acquisitions']:.0f} lock acquisitions, "
+            f"{stats['mean_attempts']:.2f} attempts/acquire "
+            f"(max {stats['max_attempts']:.0f}), "
+            f"{stats['total_poll_wait'] * 1e3:.2f} ms spent lock-polling, "
+            f"{stats['syncs']:.0f} win_syncs"
+        )
+
+    # -- who does the work ---------------------------------------------------
+    print("\nper-worker sub-chunk counts (self-balancing in action):")
+    per_worker = Counter(c.pe for c in result.subchunks)
+    for rank in sorted(per_worker):
+        bar = "#" * per_worker[rank]
+        print(f"  rank {rank:>2}: {per_worker[rank]:>3} sub-chunks {bar}")
+    print(
+        "\nNote the asymmetry: workers that drew cheap iterations grabbed\n"
+        "more sub-chunks — the 'fastest process fills the queue' behaviour\n"
+        "that replaces a designated coordinator (paper Sec. 3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: simulate hierarchical DLS on a small cluster.
+
+Builds the Mandelbrot workload, runs the paper's two implementation
+approaches for one scheduling combination, and prints the comparison —
+the smallest end-to-end use of the public API.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import minihpc, run_hierarchical
+from repro.workloads import mandelbrot_workload
+
+
+def main() -> None:
+    # 1. a workload: 128x128 Mandelbrot escape-time image, one loop
+    #    iteration per pixel; per-pixel cost derived from the real kernel
+    workload = mandelbrot_workload(width=128, height=128, max_iter=512)
+    print(f"workload: {workload}")
+    print(f"  serial time on one core: {workload.total_cost:.3f} s")
+    print(f"  iteration-cost variability (cov): {workload.cov:.2f}\n")
+
+    # 2. a machine: 4 nodes x 16 cores, Omni-Path-like fabric (the
+    #    paper's miniHPC testbed)
+    cluster = minihpc(n_nodes=4, cores_per_node=16)
+
+    # 3. run the same scheduling combination under both approaches
+    for approach in ("mpi+openmp", "mpi+mpi"):
+        result = run_hierarchical(
+            workload,
+            cluster,
+            inter="GSS",      # GSS across nodes
+            intra="STATIC",   # static splits within each node
+            approach=approach,
+            ppn=16,
+            seed=0,
+        )
+        print(f"{approach:>11}: parallel loop time = "
+              f"{result.parallel_time:.4f} s   ({result.metrics.summary()})")
+
+    print(
+        "\nThe MPI+MPI approach wins because no worker ever waits at an\n"
+        "implicit barrier: whoever drains the node's shared work queue\n"
+        "first refills it from the global queue (paper Sec. 3, Fig. 1-3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

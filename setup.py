@@ -1,0 +1,12 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` also works on
+environments whose setuptools/pip lack PEP-660 editable-wheel support
+(e.g. offline boxes without the ``wheel`` package installed)::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

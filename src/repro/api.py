@@ -1,0 +1,117 @@
+"""High-level convenience API.
+
+Wraps the execution models behind two functions so that the common case
+(run one hierarchical combination on a cluster and read the metrics)
+is a single call.  Imports of the heavier layers happen lazily so that
+``import repro`` stays cheap for users who only need the technique
+calculators.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.machine import ClusterSpec
+    from repro.core.hierarchy import HierarchicalSpec
+    from repro.models.base import ExecutionModel, RunResult
+    from repro.workloads.base import Workload
+
+#: canonical names for the paper's two implementation approaches
+APPROACHES = ("mpi+mpi", "mpi+openmp", "flat-mpi", "master-worker")
+
+
+def _resolve_model(approach: str) -> "ExecutionModel":
+    from repro.models import (
+        FlatMpiModel,
+        MasterWorkerModel,
+        MpiMpiModel,
+        MpiOpenMpModel,
+    )
+
+    key = (
+        approach.strip().lower()
+        .replace("_", "").replace("-", "").replace(" ", "")
+    )
+    table = {
+        "mpi+mpi": MpiMpiModel,
+        "mpimpi": MpiMpiModel,
+        "mpi+openmp": MpiOpenMpModel,
+        "mpiopenmp": MpiOpenMpModel,
+        "flatmpi": FlatMpiModel,
+        "masterworker": MasterWorkerModel,
+    }
+    if key not in table:
+        raise ValueError(f"unknown approach {approach!r}; choose from {APPROACHES}")
+    return table[key]()
+
+
+def run_hierarchical(
+    workload: "Workload",
+    cluster: "ClusterSpec",
+    inter: Union[str, Any],
+    intra: Union[str, Any],
+    approach: str = "mpi+mpi",
+    ppn: Optional[int] = None,
+    seed: int = 0,
+    collect_trace: bool = False,
+    collect_chunks: bool = True,
+    costs: Optional[Any] = None,
+    noise: Optional[Any] = None,
+    **spec_kwargs: Any,
+) -> "RunResult":
+    """Run one hierarchical DLS combination and return its result.
+
+    Parameters
+    ----------
+    workload:
+        The loop to schedule (see :mod:`repro.workloads`).
+    cluster:
+        Machine description (e.g. :func:`repro.cluster.minihpc`).
+    inter / intra:
+        Technique names or :class:`~repro.core.technique_base.Technique`
+        instances for the two scheduling levels (the paper's ``X+Y``).
+    approach:
+        ``"mpi+mpi"`` (paper's contribution), ``"mpi+openmp"``
+        (baseline), ``"flat-mpi"`` or ``"master-worker"`` (ablations).
+    ppn:
+        Workers per node (defaults to each node's core count).
+    seed:
+        Simulation seed (noise, RND technique, tie-breaking).
+    collect_trace:
+        Record a :class:`repro.core.trace.Trace` (Gantt) — slower.
+    costs / noise:
+        Override the :class:`repro.cluster.costs.CostModel` /
+        :class:`repro.cluster.noise.NoiseModel`.
+
+    Returns
+    -------
+    RunResult
+        With ``.parallel_time``, ``.metrics``, ``.chunks``, ``.trace``.
+    """
+    from repro.core.hierarchy import HierarchicalSpec
+
+    spec = HierarchicalSpec.of(inter, intra, **spec_kwargs)
+    model = _resolve_model(approach)
+    return model.run(
+        workload=workload,
+        cluster=cluster,
+        spec=spec,
+        ppn=ppn,
+        seed=seed,
+        collect_trace=collect_trace,
+        collect_chunks=collect_chunks,
+        costs=costs,
+        noise=noise,
+    )
+
+
+def run_model(
+    model: "ExecutionModel",
+    workload: "Workload",
+    cluster: "ClusterSpec",
+    spec: "HierarchicalSpec",
+    **kwargs: Any,
+) -> "RunResult":
+    """Run an explicit :class:`~repro.models.base.ExecutionModel` instance."""
+    return model.run(workload=workload, cluster=cluster, spec=spec, **kwargs)

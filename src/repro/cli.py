@@ -1,0 +1,205 @@
+"""Command-line interface.
+
+Examples::
+
+    repro techniques                       # list the DLS roster
+    repro table1                           # regenerate paper Table 1
+    repro figure --id fig5a                # regenerate a paper figure
+    repro figure --id fig4b --scale quick --nodes 2,4
+    repro sync                             # Figures 2/3 Gantt charts
+    repro intext                           # Sec. 5 in-text numbers
+    repro ablation --id lockpoll           # A-1 .. A-4
+    repro run --app mandelbrot --inter GSS --intra STATIC \
+              --approach mpi+mpi --nodes 4   # one simulated execution
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_techniques(args: argparse.Namespace) -> int:
+    from repro.core import list_techniques
+
+    print(f"{'name':<8} {'OpenMP clause':<22} {'flags':<28} description")
+    print("-" * 100)
+    for row in list_techniques():
+        flags = ",".join(
+            flag
+            for flag, on in (
+                ("adaptive", row["adaptive"]),
+                ("pe-dep", row["pe_dependent"]),
+                ("profile", row["needs_profile"]),
+                ("weights", row["needs_weights"]),
+            )
+            if on
+        )
+        clause = row["openmp_clause"] or (
+            "ext" if row["openmp_extension_clause"] else "-"
+        )
+        print(f"{row['name']:<8} {clause:<22} {flags:<28} {row['description']}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.tables import table1
+
+    print(table1(include_extensions=not args.paper_only))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import FIGURES, run_figure
+
+    ids = sorted(FIGURES) if args.id == "all" else [args.id]
+    node_counts = (
+        tuple(int(n) for n in args.nodes.split(",")) if args.nodes else None
+    )
+    ok = True
+    for figure_id in ids:
+        result = run_figure(
+            figure_id,
+            scale=args.scale,
+            seed=args.seed,
+            node_counts=node_counts,
+            progress=print if args.verbose else None,
+        )
+        print(result.to_text())
+        print()
+        ok &= result.all_passed
+    return 0 if ok else 1
+
+
+def _cmd_sync(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import run_sync_illustration
+
+    print(run_sync_illustration(scale=args.scale or "quick", seed=args.seed))
+    return 0
+
+
+def _cmd_intext(args: argparse.Namespace) -> int:
+    from repro.experiments.intext import run_intext
+
+    print(run_intext(scale=args.scale or "default", seed=args.seed))
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.experiments import ablations
+
+    table = {
+        "lockpoll": ablations.ablation_lockpoll,
+        "models": ablations.ablation_models,
+        "nowait": ablations.ablation_nowait,
+        "ppn": ablations.ablation_ppn,
+    }
+    ids = sorted(table) if args.id == "all" else [args.id]
+    for ablation_id in ids:
+        if ablation_id not in table:
+            print(f"unknown ablation {ablation_id!r}; known: {sorted(table)}")
+            return 2
+        print(table[ablation_id](scale=args.scale, seed=args.seed))
+        print()
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.api import run_hierarchical
+    from repro.cluster.machine import minihpc
+    from repro.experiments.workloads import figure_workload
+
+    workload = figure_workload(args.app, args.scale or "quick")
+    result = run_hierarchical(
+        workload,
+        minihpc(args.nodes, args.ppn),
+        inter=args.inter,
+        intra=args.intra,
+        approach=args.approach,
+        ppn=args.ppn,
+        seed=args.seed,
+        collect_trace=args.gantt,
+        collect_chunks=False,
+    )
+    print(result.describe())
+    print(result.metrics.summary())
+    if args.gantt:
+        print(result.trace.render_gantt(width=100))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Hierarchical dynamic loop self-scheduling (MPI+MPI vs "
+            "MPI+OpenMP) — simulation & reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("techniques", help="list the DLS technique roster")
+    p.set_defaults(fn=_cmd_techniques)
+
+    p = sub.add_parser("table1", help="regenerate paper Table 1")
+    p.add_argument("--paper-only", action="store_true",
+                   help="omit the LaPeSD-libGOMP extension rows")
+    p.set_defaults(fn=_cmd_table1)
+
+    p = sub.add_parser("figure", help="regenerate paper figures 4-7")
+    p.add_argument("--id", default="all",
+                   help="fig4a..fig7b or 'all' (default)")
+    p.add_argument("--scale", default=None,
+                   choices=["tiny", "quick", "default", "full"])
+    p.add_argument("--nodes", default=None,
+                   help="comma-separated node counts (default 2,4,8,16)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(fn=_cmd_figure)
+
+    p = sub.add_parser("sync", help="regenerate figures 2/3 (Gantt charts)")
+    p.add_argument("--scale", default=None,
+                   choices=["tiny", "quick", "default", "full"])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_sync)
+
+    p = sub.add_parser("intext", help="reproduce the Sec. 5 in-text numbers")
+    p.add_argument("--scale", default=None,
+                   choices=["tiny", "quick", "default", "full"])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_intext)
+
+    p = sub.add_parser("ablation", help="run ablations A-1..A-4")
+    p.add_argument("--id", default="all",
+                   help="lockpoll | models | nowait | ppn | all")
+    p.add_argument("--scale", default=None,
+                   choices=["tiny", "quick", "default", "full"])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_ablation)
+
+    p = sub.add_parser("run", help="run one simulated loop execution")
+    p.add_argument("--app", default="mandelbrot",
+                   choices=["mandelbrot", "psia"])
+    p.add_argument("--approach", default="mpi+mpi")
+    p.add_argument("--inter", default="GSS")
+    p.add_argument("--intra", default="STATIC")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--ppn", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scale", default=None,
+                   choices=["tiny", "quick", "default", "full"])
+    p.add_argument("--gantt", action="store_true",
+                   help="render an ASCII Gantt chart of the execution")
+    p.set_defaults(fn=_cmd_run)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Cluster machine model (substrate S2).
+
+Describes the simulated hardware: nodes, cores, per-core speed
+variation, OS noise, and the interconnect cost model.  The default
+parameters approximate the paper's *miniHPC* testbed: 16 dual-socket
+Intel Xeon nodes (16 workers per node used in the evaluation) joined by
+a 100 Gbit/s Omni-Path-like fabric in a non-blocking fat tree.
+"""
+
+from repro.cluster.costs import MpiCosts, OmpCosts
+from repro.cluster.interconnect import Interconnect
+from repro.cluster.machine import ClusterSpec, NodeSpec, minihpc
+from repro.cluster.noise import NoiseModel
+from repro.cluster.topology import Placement, block_placement
+
+__all__ = [
+    "ClusterSpec",
+    "Interconnect",
+    "MpiCosts",
+    "NodeSpec",
+    "NoiseModel",
+    "OmpCosts",
+    "Placement",
+    "block_placement",
+    "minihpc",
+]

@@ -1,0 +1,144 @@
+"""Cost tables for the simulated MPI and OpenMP runtimes.
+
+Every latency that shapes the paper's results is an explicit, documented
+parameter here.  Defaults are calibrated so that full-scale runs land on
+the magnitudes reported in the paper (Section 5); see
+``repro.experiments.calibration`` and EXPERIMENTS.md for the procedure.
+
+The two decisive knobs (paper Sections 5-6):
+
+* ``shm_poll_interval`` — MPI passive-target ``MPI_Win_lock`` uses *lock
+  polling* (Zhao et al. [38]): a process that fails to get the lock
+  re-issues a lock-attempt message after this interval.  Under 16-way
+  intra-node contention this makes every lock handoff cost a large
+  fraction of the polling interval, which is why ``X+SS`` is the worst
+  combination for the MPI+MPI approach.
+* ``omp_barrier_base``/``omp_barrier_log`` — the implicit barrier at the
+  end of each OpenMP worksharing loop.  The barrier itself is cheap; the
+  *idle time it induces* (waiting for the slowest thread) is what the
+  MPI+MPI approach eliminates for ``X+STATIC``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class MpiCosts:
+    """Latency model for the simulated MPI runtime (seconds)."""
+
+    # --- two-sided ----------------------------------------------------
+    #: software overhead added by sender/receiver per message
+    p2p_overhead: float = 0.4e-6
+    #: messages larger than this use the rendezvous protocol (extra RTT)
+    eager_limit: int = 64 * 1024
+
+    # --- one-sided (RMA) over the network ------------------------------
+    #: remote atomic (fetch_and_op / compare_and_swap) processing time at
+    #: the target, excluding network latency
+    rma_atomic: float = 0.9e-6
+    #: get/put processing overhead, excluding latency + payload/bandwidth
+    rma_transfer_overhead: float = 0.6e-6
+
+    # --- MPI-3 shared-memory windows -----------------------------------
+    #: issuing one lock-attempt message for MPI_Win_lock (passive-target
+    #: epoch open: progress-engine round trip, not just a CAS)
+    shm_lock_attempt: float = 1.4e-6
+    #: lock-polling retry interval when the lock is busy (the key knob)
+    shm_poll_interval: float = 60e-6
+    #: MPI_Win_unlock (epoch close + flush)
+    shm_unlock: float = 1.1e-6
+    #: MPI_Win_sync memory barrier
+    shm_win_sync: float = 1.0e-6
+    #: load/store/read-modify-write on a shared window, per access
+    shm_access: float = 0.12e-6
+    #: remote atomics on a *local* (same-node) window — cheaper than
+    #: network RMA but dearer than plain shared loads
+    shm_atomic: float = 0.5e-6
+
+    # --- collectives ----------------------------------------------------
+    #: per-stage cost of log-tree collectives (barrier/bcast/reduce)
+    collective_stage: float = 0.7e-6
+
+    def p2p_time(self, nbytes: int, same_node: bool, network_latency: float,
+                 network_bandwidth: float) -> float:
+        """End-to-end time for one two-sided message of ``nbytes``."""
+        if same_node:
+            latency = 0.25e-6  # shared-memory transport
+            bandwidth = 40e9
+        else:
+            latency = network_latency
+            bandwidth = network_bandwidth
+        time = self.p2p_overhead + latency + nbytes / bandwidth
+        if nbytes > self.eager_limit:
+            time += latency + self.p2p_overhead  # rendezvous handshake RTT
+        return time
+
+    def rma_atomic_time(self, same_node: bool, network_latency: float) -> float:
+        """One remote atomic op (fetch&op / CAS), round trip."""
+        if same_node:
+            return self.shm_atomic
+        return self.rma_atomic + 2.0 * network_latency
+
+
+@dataclass(frozen=True)
+class OmpCosts:
+    """Latency model for the simulated OpenMP runtime (seconds)."""
+
+    #: one-time team fork for a parallel region
+    fork: float = 4.0e-6
+    #: join/implicit barrier at region end uses barrier model below
+    #: atomic capture used by schedule(dynamic)/(guided) chunk grabs
+    atomic: float = 0.18e-6
+    #: entering/leaving a worksharing loop (bookkeeping, no barrier)
+    worksharing_init: float = 0.25e-6
+    #: barrier cost model: base + log * ceil(log2(threads))
+    barrier_base: float = 0.9e-6
+    barrier_log: float = 0.35e-6
+
+    def barrier_time(self, n_threads: int) -> float:
+        if n_threads <= 1:
+            return 0.0
+        return self.barrier_base + self.barrier_log * math.ceil(
+            math.log2(max(2, n_threads))
+        )
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Bundle of all runtime cost tables plus chunk-calculation cost."""
+
+    mpi: MpiCosts = MpiCosts()
+    omp: OmpCosts = OmpCosts()
+    #: evaluating a DLS closed form (a handful of flops) on any CPU
+    chunk_calc: float = 0.08e-6
+
+    def with_overrides(self, **kwargs: Any) -> "CostModel":
+        """Functional update helper: dotted keys reach into sub-tables.
+
+        >>> CostModel().with_overrides(**{"mpi.shm_poll_interval": 1e-4})
+        """
+        mpi_kw: Dict[str, Any] = {}
+        omp_kw: Dict[str, Any] = {}
+        top_kw: Dict[str, Any] = {}
+        for key, value in kwargs.items():
+            if key.startswith("mpi."):
+                mpi_kw[key[4:]] = value
+            elif key.startswith("omp."):
+                omp_kw[key[4:]] = value
+            else:
+                top_kw[key] = value
+        out = self
+        if mpi_kw:
+            out = replace(out, mpi=replace(out.mpi, **mpi_kw))
+        if omp_kw:
+            out = replace(out, omp=replace(out.omp, **omp_kw))
+        if top_kw:
+            out = replace(out, **top_kw)
+        return out
+
+
+DEFAULT_COSTS = CostModel()

@@ -1,0 +1,53 @@
+"""Interconnect model: who is close to whom, and what transfers cost.
+
+The paper's fabric (Intel Omni-Path, non-blocking fat tree) gives
+distance-independent node-to-node latency, so the model reduces to a
+two-class distinction — same node (shared memory transport) vs
+different node (network) — plus a bandwidth term for payloads.  The
+class is still structured as a graph-style query interface so that
+blocking topologies can be added without touching the MPI layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.costs import MpiCosts
+from repro.cluster.machine import ClusterSpec
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """Answer latency/bandwidth queries for a given cluster + cost table."""
+
+    cluster: ClusterSpec
+    costs: MpiCosts
+
+    def same_node(self, node_a: int, node_b: int) -> bool:
+        return node_a == node_b
+
+    def message_time(self, node_a: int, node_b: int, nbytes: int) -> float:
+        """Two-sided message transfer time between two ranks' nodes."""
+        return self.costs.p2p_time(
+            nbytes,
+            same_node=self.same_node(node_a, node_b),
+            network_latency=self.cluster.network_latency,
+            network_bandwidth=self.cluster.network_bandwidth,
+        )
+
+    def atomic_time(self, origin_node: int, target_node: int) -> float:
+        """One-sided remote atomic round trip between two ranks' nodes."""
+        return self.costs.rma_atomic_time(
+            same_node=self.same_node(origin_node, target_node),
+            network_latency=self.cluster.network_latency,
+        )
+
+    def transfer_time(self, origin_node: int, target_node: int, nbytes: int) -> float:
+        """One-sided get/put time between two ranks' nodes."""
+        if self.same_node(origin_node, target_node):
+            return self.costs.rma_transfer_overhead + nbytes / 40e9
+        return (
+            self.costs.rma_transfer_overhead
+            + self.cluster.network_latency
+            + nbytes / self.cluster.network_bandwidth
+        )

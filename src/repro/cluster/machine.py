@@ -1,0 +1,152 @@
+"""Hardware description: nodes, cores, and whole clusters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A single shared-memory compute node.
+
+    Parameters
+    ----------
+    cores:
+        Number of physical cores usable by workers.
+    core_speed:
+        Relative speed multiplier of this node's cores (1.0 = nominal).
+        A workload iteration with nominal cost ``c`` takes ``c /
+        (core_speed * per-core factor)`` seconds here.
+    name:
+        Diagnostic label.
+    """
+
+    cores: int
+    core_speed: float = 1.0
+    name: str = "node"
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"node must have >= 1 core, got {self.cores}")
+        if self.core_speed <= 0:
+            raise ValueError(f"core_speed must be > 0, got {self.core_speed}")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A distributed-memory cluster: a sequence of nodes plus a fabric.
+
+    The paper's evaluation uses homogeneous nodes; heterogeneous
+    clusters are supported because several of the implemented DLS
+    techniques (WF, AWF-*) only make sense with per-PE weights.
+    """
+
+    nodes: Tuple[NodeSpec, ...]
+    #: one-way network latency between any two distinct nodes (seconds);
+    #: non-blocking fat tree => distance-independent.
+    network_latency: float = 1.1e-6
+    #: point-to-point bandwidth (bytes/second).
+    network_bandwidth: float = 12.5e9
+    name: str = "cluster"
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("cluster needs at least one node")
+        if self.network_latency < 0 or self.network_bandwidth <= 0:
+            raise ValueError("invalid network parameters")
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def total_cores(self) -> int:
+        return sum(node.cores for node in self.nodes)
+
+    def node_of(self, index: int) -> NodeSpec:
+        return self.nodes[index]
+
+    def core_speeds(self) -> np.ndarray:
+        """Vector of core speeds, in node order, one entry per core."""
+        return np.concatenate(
+            [np.full(node.cores, node.core_speed) for node in self.nodes]
+        )
+
+    def subset(self, n_nodes: int) -> "ClusterSpec":
+        """A cluster made of the first ``n_nodes`` nodes (for scaling sweeps)."""
+        if not 1 <= n_nodes <= self.n_nodes:
+            raise ValueError(f"cannot take {n_nodes} of {self.n_nodes} nodes")
+        return ClusterSpec(
+            nodes=self.nodes[:n_nodes],
+            network_latency=self.network_latency,
+            network_bandwidth=self.network_bandwidth,
+            name=f"{self.name}[{n_nodes}]",
+        )
+
+
+def homogeneous(
+    n_nodes: int,
+    cores_per_node: int,
+    core_speed: float = 1.0,
+    network_latency: float = 1.1e-6,
+    network_bandwidth: float = 12.5e9,
+    name: str = "cluster",
+) -> ClusterSpec:
+    """Build a homogeneous cluster spec."""
+    nodes = tuple(
+        NodeSpec(cores=cores_per_node, core_speed=core_speed, name=f"{name}-n{i}")
+        for i in range(n_nodes)
+    )
+    return ClusterSpec(
+        nodes=nodes,
+        network_latency=network_latency,
+        network_bandwidth=network_bandwidth,
+        name=name,
+    )
+
+
+def minihpc(n_nodes: int = 16, cores_per_node: int = 16) -> ClusterSpec:
+    """The paper's testbed slice: up to 16 identical Xeon nodes.
+
+    miniHPC nodes have 20 cores, but the evaluation runs 16 workers per
+    node (16 MPI processes for MPI+MPI, 16 OpenMP threads for
+    MPI+OpenMP), so the default model exposes 16 worker cores.  The
+    Omni-Path fabric is modelled as 1.1 us / 100 Gbit/s, distance
+    independent (non-blocking fat tree).
+    """
+    if not 1 <= n_nodes <= 16:
+        raise ValueError("miniHPC has at most 16 identical Xeon nodes")
+    return homogeneous(
+        n_nodes=n_nodes,
+        cores_per_node=cores_per_node,
+        network_latency=1.1e-6,
+        network_bandwidth=12.5e9,
+        name="miniHPC",
+    )
+
+
+def heterogeneous(
+    core_counts: Sequence[int],
+    core_speeds: Optional[Sequence[float]] = None,
+    network_latency: float = 1.1e-6,
+    network_bandwidth: float = 12.5e9,
+    name: str = "hetero",
+) -> ClusterSpec:
+    """Build a heterogeneous cluster (used by WF/AWF tests and examples)."""
+    if core_speeds is None:
+        core_speeds = [1.0] * len(core_counts)
+    if len(core_speeds) != len(core_counts):
+        raise ValueError("core_counts and core_speeds must have equal length")
+    nodes = tuple(
+        NodeSpec(cores=c, core_speed=s, name=f"{name}-n{i}")
+        for i, (c, s) in enumerate(zip(core_counts, core_speeds))
+    )
+    return ClusterSpec(
+        nodes=nodes,
+        network_latency=network_latency,
+        network_bandwidth=network_bandwidth,
+        name=name,
+    )

@@ -1,0 +1,88 @@
+"""Process placement: mapping MPI ranks to (node, core) slots.
+
+The paper's two execution models place processes differently:
+
+* **MPI+MPI** — ``ppn`` MPI processes per node (16 in the evaluation),
+  rank-ordered block placement, one process per core.
+* **MPI+OpenMP** — one MPI process per node; its OpenMP threads occupy
+  the node's cores.
+
+Both are expressed through :func:`block_placement`, which is the only
+placement policy the reproduction needs; round-robin placement is
+provided for completeness and ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.cluster.machine import ClusterSpec
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Immutable rank -> (node index, core index) mapping."""
+
+    cluster: ClusterSpec
+    #: slots[rank] == (node_index, core_index_within_node)
+    slots: Tuple[Tuple[int, int], ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.slots)
+
+    def node_of(self, rank: int) -> int:
+        return self.slots[rank][0]
+
+    def core_of(self, rank: int) -> int:
+        return self.slots[rank][1]
+
+    def ranks_on_node(self, node: int) -> List[int]:
+        return [r for r, (n, _) in enumerate(self.slots) if n == node]
+
+    def node_leaders(self) -> List[int]:
+        """Lowest rank on each node, in node order (the 'coordinators')."""
+        seen: dict[int, int] = {}
+        for rank, (node, _) in enumerate(self.slots):
+            seen.setdefault(node, rank)
+        return [seen[n] for n in sorted(seen)]
+
+    def local_rank(self, rank: int) -> int:
+        """Rank's index among the ranks of its own node (shared-memory comm)."""
+        node = self.node_of(rank)
+        return self.ranks_on_node(node).index(rank)
+
+
+def block_placement(cluster: ClusterSpec, ppn: int) -> Placement:
+    """Place ``ppn`` consecutive ranks on each node (MPI default `-map-by node`).
+
+    ``ppn`` must not exceed any node's core count — the reproduction
+    never oversubscribes cores, matching the paper's setup.
+    """
+    slots: List[Tuple[int, int]] = []
+    for node_index, node in enumerate(cluster.nodes):
+        if ppn > node.cores:
+            raise ValueError(
+                f"ppn={ppn} oversubscribes node {node.name} ({node.cores} cores)"
+            )
+        slots.extend((node_index, core) for core in range(ppn))
+    return Placement(cluster=cluster, slots=tuple(slots))
+
+
+def round_robin_placement(cluster: ClusterSpec, n_ranks: int) -> Placement:
+    """Cyclic placement across nodes (ablation only)."""
+    counters = [0] * cluster.n_nodes
+    slots: List[Tuple[int, int]] = []
+    node = 0
+    for _ in range(n_ranks):
+        attempts = 0
+        while counters[node] >= cluster.nodes[node].cores:
+            node = (node + 1) % cluster.n_nodes
+            attempts += 1
+            if attempts > cluster.n_nodes:
+                raise ValueError("not enough cores for requested ranks")
+        slots.append((node, counters[node]))
+        counters[node] += 1
+        node = (node + 1) % cluster.n_nodes
+    return Placement(cluster=cluster, slots=tuple(slots))

@@ -1,0 +1,46 @@
+"""Core library: DLS techniques, hierarchical composition, metrics, traces.
+
+This package holds the paper's primary contribution in reusable form:
+
+* :mod:`repro.core.chunking` — chunks and schedule-verification helpers.
+* :mod:`repro.core.technique_base` — the :class:`Technique` /
+  :class:`ChunkCalculator` abstractions implementing the *distributed
+  chunk-calculation* approach (chunk sizes derivable from the scheduling
+  step alone for non-adaptive techniques).
+* :mod:`repro.core.techniques` — the full DLS roster: STATIC, SS, FSC,
+  mFSC, GSS, TAP, TSS, TFSS, FAC, FAC2, WF, AWF, AWF-B/C/D/E, AF, RND.
+* :mod:`repro.core.hierarchy` — two-level (inter-node x intra-node)
+  scheduling composition used by the execution models.
+* :mod:`repro.core.metrics` — parallel time, load-imbalance and
+  overhead metrics.
+* :mod:`repro.core.trace` — execution traces and ASCII Gantt charts
+  (regenerates the paper's Figures 2 and 3).
+"""
+
+from repro.core.chunking import Chunk, ScheduleError, unroll, verify_schedule
+from repro.core.hierarchy import HierarchicalSpec
+from repro.core.metrics import LoadMetrics, compute_metrics
+from repro.core.technique_base import (
+    ChunkCalculator,
+    IterationProfile,
+    Technique,
+    TechniqueError,
+)
+from repro.core.techniques import TECHNIQUES, get_technique, list_techniques
+
+__all__ = [
+    "Chunk",
+    "ChunkCalculator",
+    "HierarchicalSpec",
+    "IterationProfile",
+    "LoadMetrics",
+    "ScheduleError",
+    "TECHNIQUES",
+    "Technique",
+    "TechniqueError",
+    "compute_metrics",
+    "get_technique",
+    "list_techniques",
+    "unroll",
+    "verify_schedule",
+]

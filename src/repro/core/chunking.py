@@ -1,0 +1,122 @@
+"""Chunks of loop iterations and schedule-correctness helpers.
+
+A *chunk* is a half-open range ``[start, start+size)`` of loop-iteration
+indices handed to one processing element at one scheduling step.  The
+helpers here unroll a technique serially (ground truth for tests) and
+verify the fundamental schedule invariants: full coverage of the
+iteration space, no overlap, and positive sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.technique_base import ChunkCalculator
+
+
+class ScheduleError(AssertionError):
+    """A schedule violated coverage/overlap invariants."""
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A scheduled unit of work.
+
+    Attributes
+    ----------
+    step:
+        The scheduling step at which this chunk was obtained (global
+        ordering of grabs at one scheduling level).
+    start, size:
+        Half-open iteration range ``[start, start + size)``.
+    pe:
+        Processing element that obtained the chunk (worker rank or
+        thread id), ``-1`` when not applicable (serial unrolling).
+    """
+
+    step: int
+    start: int
+    size: int
+    pe: int = -1
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+    def __post_init__(self) -> None:
+        if self.size < 0 or self.start < 0:
+            raise ValueError(f"malformed chunk {self!r}")
+
+    def __len__(self) -> int:
+        return self.size
+
+    def split(self, at: int) -> "tuple[Chunk, Chunk]":
+        """Split into two chunks after ``at`` iterations (test helper)."""
+        if not 0 <= at <= self.size:
+            raise ValueError(f"split point {at} outside chunk of size {self.size}")
+        left = Chunk(self.step, self.start, at, self.pe)
+        right = Chunk(self.step, self.start + at, self.size - at, self.pe)
+        return left, right
+
+
+def unroll(calculator: "ChunkCalculator", round_robin_pes: Optional[int] = None) -> List[Chunk]:
+    """Serially unroll a calculator into its complete chunk list.
+
+    This emulates a perfectly serialised self-scheduling execution:
+    step ``i`` is grabbed before step ``i+1``.  For techniques whose
+    chunk size depends on the requesting PE (WF, AWF-*), PEs take turns
+    round-robin over ``round_robin_pes`` (defaults to the calculator's
+    ``p``).
+
+    Returns chunks exactly covering ``[0, n)``.
+    """
+    p = round_robin_pes if round_robin_pes is not None else calculator.p
+    chunks: List[Chunk] = []
+    start = 0
+    step = 0
+    guard = 0
+    while start < calculator.n:
+        pe = step % p
+        size = calculator.size_at(step, pe=pe)
+        if size <= 0:
+            raise ScheduleError(
+                f"{calculator!r} returned size {size} at step {step} with "
+                f"{calculator.n - start} iterations remaining"
+            )
+        size = min(size, calculator.n - start)
+        chunks.append(Chunk(step=step, start=start, size=size, pe=pe))
+        start += size
+        step += 1
+        guard += 1
+        if guard > 2 * calculator.n + 16:
+            raise ScheduleError(f"unroll did not terminate for {calculator!r}")
+    return chunks
+
+
+def verify_schedule(chunks: Iterable[Chunk], n: int) -> None:
+    """Raise :class:`ScheduleError` unless chunks tile ``[0, n)`` exactly.
+
+    The chunks may arrive in any order (concurrent executions produce
+    interleaved grabs); they are sorted by ``start`` before checking.
+    """
+    ordered = sorted(chunks, key=lambda c: c.start)
+    cursor = 0
+    for chunk in ordered:
+        if chunk.size <= 0:
+            raise ScheduleError(f"non-positive chunk {chunk}")
+        if chunk.start != cursor:
+            kind = "overlap" if chunk.start < cursor else "gap"
+            raise ScheduleError(
+                f"{kind} at iteration {min(cursor, chunk.start)}: "
+                f"expected next start {cursor}, got {chunk}"
+            )
+        cursor = chunk.end
+    if cursor != n:
+        raise ScheduleError(f"schedule covers [0, {cursor}) but the loop has {n} iterations")
+
+
+def chunk_sizes(chunks: Sequence[Chunk]) -> List[int]:
+    """Sizes in step order (convenience for tests and reports)."""
+    return [c.size for c in sorted(chunks, key=lambda c: c.step)]

@@ -1,0 +1,123 @@
+"""Two-level scheduling composition.
+
+A hierarchical DLS configuration pairs an **inter-node** technique
+(which carves the global iteration space into node-level *chunks*) with
+an **intra-node** technique (which carves each chunk into worker-level
+*sub-chunks*).  The paper writes this as ``X+Y`` — e.g. ``GSS+STATIC``
+means GSS across nodes, STATIC within a node.
+
+:class:`HierarchicalSpec` validates and carries such a pair plus its
+per-level parameters; the execution models in :mod:`repro.models`
+instantiate fresh intra-node calculators each time a node's local queue
+is refilled (the intra-level schedules *within the current chunk*, with
+``n = len(chunk)`` and ``p = workers per node``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.technique_base import ChunkCalculator, IterationProfile, Technique
+from repro.core.techniques import get_technique
+
+
+@dataclass
+class LevelSpec:
+    """One scheduling level: a technique plus its optional parameters."""
+
+    technique: Technique
+    weights: Optional[Sequence[float]] = None
+    profile: Optional[IterationProfile] = None
+    #: minimum chunk size floor (OpenMP's ``schedule(kind, chunk)`` second arg)
+    min_chunk: int = 1
+
+    @classmethod
+    def of(cls, technique: "Technique | str", **kwargs) -> "LevelSpec":
+        if isinstance(technique, str):
+            technique = get_technique(technique)
+        return cls(technique=technique, **kwargs)
+
+    def make_calculator(
+        self, n: int, p: int, rng: Optional[np.random.Generator] = None,
+        chunk_overhead: Optional[float] = None,
+    ) -> ChunkCalculator:
+        calc = self.technique.make(
+            n,
+            p,
+            weights=self.weights,
+            profile=self.profile,
+            rng=rng,
+            chunk_overhead=chunk_overhead,
+        )
+        if self.min_chunk > 1:
+            return _MinChunkWrapper(calc, self.min_chunk)
+        return calc
+
+
+class _MinChunkWrapper(ChunkCalculator):
+    """Clamp an inner calculator's sizes from below (guided,k semantics)."""
+
+    def __init__(self, inner: ChunkCalculator, min_chunk: int):
+        super().__init__(f"{inner.name}(min={min_chunk})", inner.n, inner.p)
+        self.inner = inner
+        self.min_chunk = int(min_chunk)
+        self.deterministic = inner.deterministic
+        self._scheduled = 0
+
+    def size_at(self, step: int, pe: Optional[int] = None) -> int:
+        remaining = self.n - self._scheduled
+        if remaining <= 0:
+            return 0
+        size = self.inner.size_at(step, pe=pe)
+        size = max(self.min_chunk, size)
+        size = min(size, remaining)
+        self._scheduled += size
+        return size
+
+    def record(self, pe, size, compute_time, overhead_time=0.0) -> None:
+        self.inner.record(pe, size, compute_time, overhead_time)
+
+    def start_at(self, step: int) -> int:  # pragma: no cover - defensive
+        raise NotImplementedError(
+            "min-chunk wrapped calculators are consumed sequentially; "
+            "use the scheduled-count protocol"
+        )
+
+
+@dataclass
+class HierarchicalSpec:
+    """An ``inter+intra`` scheduling combination (the paper's ``X+Y``)."""
+
+    inter: LevelSpec
+    intra: LevelSpec
+
+    @classmethod
+    def of(cls, inter: "Technique | str", intra: "Technique | str", **kwargs) -> "HierarchicalSpec":
+        """Convenience constructor: ``HierarchicalSpec.of("GSS", "STATIC")``."""
+        inter_kwargs = {
+            k[len("inter_"):]: v for k, v in kwargs.items() if k.startswith("inter_")
+        }
+        intra_kwargs = {
+            k[len("intra_"):]: v for k, v in kwargs.items() if k.startswith("intra_")
+        }
+        unknown = set(kwargs) - {
+            *(f"inter_{k}" for k in inter_kwargs),
+            *(f"intra_{k}" for k in intra_kwargs),
+        }
+        if unknown:
+            raise TypeError(f"unknown HierarchicalSpec arguments: {sorted(unknown)}")
+        return cls(
+            inter=LevelSpec.of(inter, **inter_kwargs),
+            intra=LevelSpec.of(intra, **intra_kwargs),
+        )
+
+    @property
+    def label(self) -> str:
+        """Paper-style combination label, e.g. ``"GSS+STATIC"``."""
+        return f"{self.inter.technique.name}+{self.intra.technique.name}"
+
+    def __str__(self) -> str:
+        return self.label

@@ -1,0 +1,262 @@
+"""Technique and ChunkCalculator abstractions.
+
+The *distributed chunk-calculation* approach (Eleliemy & Ciorba, PDP
+2019 [15]) eliminates the master: each worker atomically increments the
+*latest scheduling step* in an RMA window and computes its own chunk
+from that step.  That works because for non-adaptive DLS techniques the
+serial chunk sequence ``C_0, C_1, ...`` is a pure function of ``(N, P,
+technique parameters)`` — every rank can derive the same sequence
+locally and cheaply.
+
+This module provides:
+
+* :class:`Technique` — stateless descriptor + factory (one instance per
+  named technique, held in the registry).
+* :class:`ChunkCalculator` — a per-loop-execution object produced by
+  :meth:`Technique.make`.  Non-adaptive calculators memoise the serial
+  sequence and expose ``deterministic = True`` so execution models can
+  use the step-counter-only protocol; adaptive calculators
+  (``deterministic = False``) additionally consult runtime feedback
+  recorded through :meth:`ChunkCalculator.record`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+class TechniqueError(ValueError):
+    """Bad technique parameters (missing profile, weights, ...)."""
+
+
+@dataclass(frozen=True)
+class IterationProfile:
+    """Prior knowledge about iteration execution times.
+
+    FAC, TAP and FSC assume the mean ``mu`` and standard deviation
+    ``sigma`` of iteration times are known a priori (the paper, Sec. 2).
+    Workloads provide this via :meth:`repro.workloads.base.Workload.profile`.
+    """
+
+    mu: float
+    sigma: float
+    #: per-scheduling-operation overhead estimate ``h`` (FSC needs it).
+    h: float = 1.0e-6
+
+    def __post_init__(self) -> None:
+        if self.mu <= 0 or self.sigma < 0 or self.h <= 0:
+            raise TechniqueError(
+                f"invalid profile mu={self.mu}, sigma={self.sigma}, h={self.h}"
+            )
+
+    @property
+    def cov(self) -> float:
+        """Coefficient of variation sigma/mu."""
+        return self.sigma / self.mu
+
+
+class ChunkCalculator:
+    """Chunk-size oracle for one execution of one scheduling level.
+
+    Subclasses implement :meth:`_next_size`, the remaining-based
+    recurrence ``C_i = f(R_i, i)``; the base class memoises the
+    resulting serial sequence together with its prefix sums so that
+    ``size_at``/``start_at`` are O(1) amortised — this mirrors how the
+    distributed chunk-calculation approach lets every rank evaluate the
+    schedule locally.
+
+    Attributes
+    ----------
+    deterministic:
+        True when chunk sizes are a pure function of the scheduling
+        step.  Execution models rely on this to choose between the
+        single-counter protocol (deterministic) and the
+        step-plus-scheduled-count protocol (adaptive / PE-dependent).
+    """
+
+    deterministic: bool = True
+
+    def __init__(self, name: str, n: int, p: int):
+        if n < 0:
+            raise TechniqueError(f"negative iteration count {n}")
+        if p < 1:
+            raise TechniqueError(f"need at least one PE, got {p}")
+        self.name = name
+        self.n = int(n)
+        self.p = int(p)
+        self._sizes: List[int] = []
+        self._prefix: List[int] = [0]
+
+    # -- recurrence ----------------------------------------------------
+    def _next_size(self, remaining: int, step: int) -> int:
+        """Chunk size when ``remaining`` iterations are unscheduled at ``step``."""
+        raise NotImplementedError
+
+    def _extend_to(self, step: int) -> None:
+        while len(self._sizes) <= step and self._prefix[-1] < self.n:
+            remaining = self.n - self._prefix[-1]
+            size = self._next_size(remaining, len(self._sizes))
+            size = max(1, min(int(size), remaining))
+            self._sizes.append(size)
+            self._prefix.append(self._prefix[-1] + size)
+
+    # -- public API ------------------------------------------------------
+    def size_at(self, step: int, pe: Optional[int] = None) -> int:
+        """Size of the chunk at scheduling ``step`` (0 = loop exhausted).
+
+        ``pe`` matters only for PE-dependent techniques (WF, AWF-*);
+        deterministic techniques ignore it.
+        """
+        if step < 0:
+            raise TechniqueError(f"negative scheduling step {step}")
+        self._extend_to(step)
+        if step < len(self._sizes):
+            return self._sizes[step]
+        return 0
+
+    def start_at(self, step: int) -> int:
+        """First iteration index of the chunk at ``step``.
+
+        Only meaningful for deterministic calculators — the value is the
+        prefix sum of the serial sequence, which is what a rank computes
+        locally after fetch-and-incrementing the step counter.
+        """
+        if not self.deterministic:
+            raise TechniqueError(
+                f"{self.name} is adaptive/PE-dependent; start_at() is undefined"
+            )
+        self._extend_to(step)
+        if step < len(self._prefix) - 1:
+            return self._prefix[step]
+        return self.n
+
+    def record(
+        self,
+        pe: int,
+        size: int,
+        compute_time: float,
+        overhead_time: float = 0.0,
+    ) -> None:
+        """Runtime feedback hook; default no-op (non-adaptive techniques)."""
+
+    def total_steps(self) -> int:
+        """Number of chunks in the serial unrolling (deterministic only)."""
+        if not self.deterministic:
+            raise TechniqueError(f"{self.name}: total_steps undefined for adaptive")
+        self._extend_to(2 * self.n + 16)
+        return len(self._sizes)
+
+    def sequence(self) -> List[int]:
+        """The full serial chunk-size sequence (deterministic only)."""
+        self.total_steps()
+        return list(self._sizes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r}, n={self.n}, p={self.p})"
+
+
+class Technique:
+    """Descriptor + factory for one DLS technique.
+
+    Instances are stateless; per-execution state lives in the
+    :class:`ChunkCalculator` returned by :meth:`make`.
+
+    Attributes
+    ----------
+    name:
+        Canonical upper-case name (``"GSS"``).
+    openmp_clause:
+        The OpenMP ``schedule`` clause implementing the same technique,
+        or None when the (Intel) OpenMP runtime has no equivalent —
+        reproduces the paper's Table 1 and drives which MPI+OpenMP
+        combinations exist in Figures 4-7.
+    openmp_extension_clause:
+        Clause available only in the research LaPeSD-libGOMP runtime
+        [31] (e.g. TSS, FAC2); None otherwise.
+    adaptive:
+        Uses runtime feedback (AWF-B/C/D/E, AF).
+    pe_dependent:
+        Chunk size depends on which PE grabs it (WF, AWF family).
+    needs_profile / needs_weights:
+        Requires an :class:`IterationProfile` / per-PE weights.
+    """
+
+    name: str = "?"
+    openmp_clause: Optional[str] = None
+    openmp_extension_clause: Optional[str] = None
+    adaptive: bool = False
+    pe_dependent: bool = False
+    needs_profile: bool = False
+    needs_weights: bool = False
+    #: STATIC semantics: PE ``k`` owns chunk ``k`` outright (one
+    #: scheduling round, no queue traffic) — cf. the paper's remark that
+    #: STATIC at the inter-node level means a single scheduling round.
+    pinned_per_pe: bool = False
+    description: str = ""
+
+    def make(
+        self,
+        n: int,
+        p: int,
+        *,
+        weights: Optional[Sequence[float]] = None,
+        profile: Optional[IterationProfile] = None,
+        rng: Optional[np.random.Generator] = None,
+        chunk_overhead: Optional[float] = None,
+    ) -> ChunkCalculator:
+        """Create a calculator for a loop of ``n`` iterations on ``p`` PEs."""
+        raise NotImplementedError
+
+    # -- shared validation helpers --------------------------------------
+    def _require_profile(self, profile: Optional[IterationProfile]) -> IterationProfile:
+        if profile is None:
+            raise TechniqueError(f"{self.name} requires an IterationProfile (mu, sigma)")
+        return profile
+
+    def _require_weights(
+        self, weights: Optional[Sequence[float]], p: int
+    ) -> np.ndarray:
+        if weights is None:
+            # Homogeneous default: all PEs equally fast.
+            return np.ones(p)
+        arr = np.asarray(weights, dtype=float)
+        if arr.shape != (p,):
+            raise TechniqueError(
+                f"{self.name}: weights must have shape ({p},), got {arr.shape}"
+            )
+        if np.any(arr <= 0):
+            raise TechniqueError(f"{self.name}: weights must be positive")
+        # Normalise so weights sum to p (w_k == 1 means nominal speed).
+        return arr * (p / arr.sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Technique({self.name})"
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative operands."""
+    return -(-a // b)
+
+
+def batch_index(step: int, p: int) -> int:
+    """FAC-family batches consist of ``p`` equally-sized chunks."""
+    return step // p
+
+
+def check_batch_invariants(n: int, p: int) -> None:
+    if n < 0 or p < 1:
+        raise TechniqueError(f"invalid loop n={n}, p={p}")
+
+
+__all__ = [
+    "ChunkCalculator",
+    "IterationProfile",
+    "Technique",
+    "TechniqueError",
+    "batch_index",
+    "ceil_div",
+]

@@ -1,0 +1,600 @@
+"""The DLS technique roster.
+
+Implements the paper's five evaluated techniques — STATIC, SS, GSS, TSS,
+FAC2 — plus the wider family they are drawn from (paper Section 2 and
+the authors' DLS4LB library): FSC, mFSC, TAP, TFSS, FAC, WF, AWF,
+AWF-B/C/D/E, AF and RND.
+
+Formulas follow the original publications:
+
+* STATIC — one chunk of ``ceil(N/P)`` per PE.
+* SS   — Tang & Yew 1986: chunk = 1.
+* FSC  — Kruskal & Weiss 1985: fixed chunk
+  ``(sqrt(2)*N*h / (sigma*P*sqrt(log P)))^(2/3)``.
+* mFSC — profiling-free FSC variant: fixed chunk sized so the chunk
+  *count* matches FAC2's batch structure (P chunks per halving batch),
+  i.e. ``ceil(N / (P*ceil(log2(N/P))))``.
+* GSS  — Polychronopoulos & Kuck 1987: ``C_i = ceil(R_i/P)``.
+* TAP  — Lucco 1992 tapering: ``C_i = T_i + v^2/2 - v*sqrt(2*T_i + v^2/4)``
+  with ``T_i = R_i/P`` and ``v = alpha*sigma/mu``.
+* TSS  — Tzen & Ni 1993: linear decrement from ``F = ceil(N/(2P))`` to
+  ``L = 1`` over ``S = ceil(2N/(F+L))`` steps.
+* TFSS — Chronopoulos et al. 2001: batches of P chunks, each the mean
+  of the next P TSS chunks.
+* FAC  — Flynn Hummel, Schonberg & Flynn 1992 probabilistic factoring
+  (needs sigma, mu).
+* FAC2 — the practical variant: every batch schedules half the
+  remainder, ``C_j = ceil(R_j/(2P))``.
+* WF   — Flynn Hummel et al. 1996 weighted factoring: FAC2 batch chunk
+  scaled by the requesting PE's fixed weight.
+* AWF  — Banicescu, Velusamy & Devaprasad 2003: WF with weights adapted
+  between outer *time steps* of an iterative application.
+* AWF-B/C/D/E — Cariño & Banicescu 2008 variants adapting weights
+  during the loop: at batch (B, D) or chunk (C, E) boundaries, from
+  compute time only (B, C) or compute + scheduling overhead (D, E).
+* AF   — Banicescu & Liu 2000 adaptive factoring: FAC with per-PE
+  (mu_k, sigma_k) estimated online from completed chunks.
+* RND  — uniform random chunk in ``[N/(100P), N/(2P)]`` (LaPeSD-libGOMP).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.technique_base import (
+    ChunkCalculator,
+    IterationProfile,
+    Technique,
+    TechniqueError,
+    ceil_div,
+)
+
+# ---------------------------------------------------------------------------
+# deterministic calculators
+# ---------------------------------------------------------------------------
+
+
+class _FixedSizeCalculator(ChunkCalculator):
+    """All chunks share one precomputed size (STATIC, SS, FSC, mFSC)."""
+
+    def __init__(self, name: str, n: int, p: int, size: int):
+        super().__init__(name, n, p)
+        self._size = max(1, int(size))
+
+    def _next_size(self, remaining: int, step: int) -> int:
+        return self._size
+
+    # O(1) overrides: avoid materialising N entries for SS on big loops.
+    def size_at(self, step: int, pe: Optional[int] = None) -> int:
+        if step < 0:
+            raise TechniqueError(f"negative scheduling step {step}")
+        full, rest = divmod(self.n, self._size)
+        total = full + (1 if rest else 0)
+        if step >= total:
+            return 0
+        if step == total - 1 and rest:
+            return rest
+        return self._size
+
+    def start_at(self, step: int) -> int:
+        return min(self.n, step * self._size)
+
+    def total_steps(self) -> int:
+        return ceil_div(self.n, self._size) if self.n else 0
+
+    def sequence(self) -> List[int]:
+        return [self.size_at(i) for i in range(self.total_steps())]
+
+
+class _GssCalculator(ChunkCalculator):
+    def _next_size(self, remaining: int, step: int) -> int:
+        return ceil_div(remaining, self.p)
+
+
+class _TssCalculator(ChunkCalculator):
+    """Linear decrement; also the basis for TFSS."""
+
+    def __init__(self, name: str, n: int, p: int):
+        super().__init__(name, n, p)
+        self.first = max(1, ceil_div(n, 2 * p))
+        self.last = 1
+        self.steps = max(1, ceil_div(2 * n, self.first + self.last)) if n else 0
+        self.delta = (
+            (self.first - self.last) / (self.steps - 1) if self.steps > 1 else 0.0
+        )
+
+    def _next_size(self, remaining: int, step: int) -> int:
+        return max(self.last, int(round(self.first - step * self.delta)))
+
+
+class _TfssCalculator(_TssCalculator):
+    """Batch mean of the underlying TSS sequence (closed form)."""
+
+    def _next_size(self, remaining: int, step: int) -> int:
+        batch = step // self.p
+        # Mean of TSS sizes at steps batch*p .. batch*p + p-1:
+        mean = self.first - self.delta * (batch * self.p + (self.p - 1) / 2.0)
+        return max(self.last, int(round(mean)))
+
+
+class _FacCalculator(ChunkCalculator):
+    """Probabilistic factoring with a-priori (mu, sigma)."""
+
+    def __init__(self, name: str, n: int, p: int, profile: IterationProfile):
+        super().__init__(name, n, p)
+        self.profile = profile
+        self._batch_size: int = 0
+
+    def _next_size(self, remaining: int, step: int) -> int:
+        if step % self.p == 0:
+            ratio = self.profile.cov
+            b = (self.p / (2.0 * math.sqrt(remaining))) * ratio if remaining else 0.0
+            if step == 0:
+                x = 1.0 + b * b + b * math.sqrt(b * b + 2.0)
+            else:
+                x = 2.0 + b * b + b * math.sqrt(b * b + 4.0)
+            # x >= 1 by construction; sigma -> 0 gives x -> 1 for the
+            # first batch, i.e. FAC degenerates towards STATIC.
+            self._batch_size = max(1, int(math.ceil(remaining / (x * self.p))))
+        return self._batch_size
+
+
+class _Fac2Calculator(ChunkCalculator):
+    def __init__(self, name: str, n: int, p: int):
+        super().__init__(name, n, p)
+        self._batch_size = 0
+
+    def _next_size(self, remaining: int, step: int) -> int:
+        if step % self.p == 0:
+            self._batch_size = max(1, ceil_div(remaining, 2 * self.p))
+        return self._batch_size
+
+
+class _TapCalculator(ChunkCalculator):
+    """Lucco's tapering (needs mu, sigma; alpha defaults to 1.3)."""
+
+    def __init__(
+        self, name: str, n: int, p: int, profile: IterationProfile, alpha: float = 1.3
+    ):
+        super().__init__(name, n, p)
+        self.v = alpha * profile.cov
+
+    def _next_size(self, remaining: int, step: int) -> int:
+        t = remaining / self.p
+        size = t + self.v * self.v / 2.0 - self.v * math.sqrt(2.0 * t + self.v * self.v / 4.0)
+        return max(1, int(math.ceil(size)))
+
+
+# ---------------------------------------------------------------------------
+# PE-dependent / adaptive calculators
+# ---------------------------------------------------------------------------
+
+
+class _WeightedCalculator(ChunkCalculator):
+    """Shared machinery for WF/AWF-*: weighted FAC2-style grabs.
+
+    Each ``size_at`` call *consumes* work: the calculator tracks the
+    scheduled total internally because chunk sizes depend on who asks
+    (so no serial prefix exists).  ``start_at`` is therefore disabled by
+    ``deterministic = False`` — execution models use the
+    scheduled-count protocol instead.
+    """
+
+    deterministic = False
+
+    def __init__(self, name: str, n: int, p: int, weights: np.ndarray):
+        super().__init__(name, n, p)
+        self.weights = np.asarray(weights, dtype=float)
+        self._scheduled = 0
+
+    def current_weight(self, pe: int) -> float:
+        return float(self.weights[pe])
+
+    def size_at(self, step: int, pe: Optional[int] = None) -> int:
+        if pe is None:
+            raise TechniqueError(f"{self.name} needs the requesting PE id")
+        remaining = self.n - self._scheduled
+        if remaining <= 0:
+            return 0
+        base = remaining / (2.0 * self.p)
+        size = int(math.ceil(self.current_weight(pe) * base))
+        size = max(1, min(size, remaining))
+        self._scheduled += size
+        return size
+
+    @property
+    def scheduled(self) -> int:
+        return self._scheduled
+
+
+class _AwfRuntimeCalculator(_WeightedCalculator):
+    """AWF-B/C/D/E: weights adapted from runtime measurements.
+
+    ``variant`` semantics (Cariño & Banicescu 2008):
+
+    * B — adapt at *batch* boundaries, compute time only;
+    * C — adapt at every *chunk*, compute time only;
+    * D — batch boundaries, compute + scheduling overhead;
+    * E — every chunk, compute + scheduling overhead.
+    """
+
+    adaptive = True
+
+    def __init__(self, name: str, n: int, p: int, variant: str):
+        super().__init__(name, n, p, np.ones(p))
+        if variant not in ("B", "C", "D", "E"):
+            raise TechniqueError(f"unknown AWF variant {variant!r}")
+        self.variant = variant
+        self._work = np.zeros(p)
+        self._time = np.zeros(p)
+        self._grabs_since_update = 0
+
+    def _include_overhead(self) -> bool:
+        return self.variant in ("D", "E")
+
+    def _per_chunk_update(self) -> bool:
+        return self.variant in ("C", "E")
+
+    def record(
+        self, pe: int, size: int, compute_time: float, overhead_time: float = 0.0
+    ) -> None:
+        self._work[pe] += size
+        self._time[pe] += compute_time + (
+            overhead_time if self._include_overhead() else 0.0
+        )
+        self._grabs_since_update += 1
+        if self._per_chunk_update() or self._grabs_since_update >= self.p:
+            self._refresh_weights()
+            self._grabs_since_update = 0
+
+    def _refresh_weights(self) -> None:
+        measured = (self._time > 0) & (self._work > 0)
+        if not np.any(measured):
+            return
+        rates = np.ones(self.p)
+        rates[measured] = self._work[measured] / self._time[measured]
+        # Unmeasured PEs get the mean measured rate (optimistic neutral).
+        rates[~measured] = rates[measured].mean()
+        self.weights = rates * (self.p / rates.sum())
+
+
+class _AfCalculator(ChunkCalculator):
+    """Adaptive factoring: FAC with per-PE (mu, sigma) estimated online.
+
+    Until a PE has completed at least two chunks it falls back to the
+    FAC2 halving rule, mirroring practical AF implementations that need
+    a bootstrap phase.
+    """
+
+    deterministic = False
+    adaptive = True
+
+    def __init__(self, name: str, n: int, p: int):
+        super().__init__(name, n, p)
+        self._scheduled = 0
+        self._count = np.zeros(p, dtype=int)
+        self._sum_t = np.zeros(p)  # per-iteration times, accumulated
+        self._sum_t2 = np.zeros(p)
+
+    def record(
+        self, pe: int, size: int, compute_time: float, overhead_time: float = 0.0
+    ) -> None:
+        if size <= 0:
+            return
+        per_iter = compute_time / size
+        self._count[pe] += 1
+        self._sum_t[pe] += per_iter
+        self._sum_t2[pe] += per_iter * per_iter
+
+    def _estimates(self, pe: int) -> Optional[tuple]:
+        c = self._count[pe]
+        if c < 2:
+            return None
+        mu = self._sum_t[pe] / c
+        var = max(0.0, self._sum_t2[pe] / c - mu * mu)
+        return mu, math.sqrt(var)
+
+    def size_at(self, step: int, pe: Optional[int] = None) -> int:
+        if pe is None:
+            raise TechniqueError(f"{self.name} needs the requesting PE id")
+        remaining = self.n - self._scheduled
+        if remaining <= 0:
+            return 0
+        est = self._estimates(pe)
+        if est is None or est[0] <= 0:
+            size = ceil_div(remaining, 2 * self.p)  # FAC2 bootstrap
+        else:
+            mu, sigma = est
+            b = (self.p / (2.0 * math.sqrt(remaining))) * (sigma / mu)
+            x = 2.0 + b * b + b * math.sqrt(b * b + 4.0)
+            size = int(math.ceil(remaining / (x * self.p)))
+        size = max(1, min(size, remaining))
+        self._scheduled += size
+        return size
+
+    @property
+    def scheduled(self) -> int:
+        return self._scheduled
+
+
+class _RndCalculator(ChunkCalculator):
+    """Random self-scheduling (seeded, reproducible)."""
+
+    deterministic = False
+
+    def __init__(self, name: str, n: int, p: int, rng: np.random.Generator):
+        super().__init__(name, n, p)
+        self._rng = rng
+        self._scheduled = 0
+        self.low = max(1, n // (100 * p)) if n else 1
+        self.high = max(self.low, ceil_div(n, 2 * p)) if n else 1
+
+    def size_at(self, step: int, pe: Optional[int] = None) -> int:
+        remaining = self.n - self._scheduled
+        if remaining <= 0:
+            return 0
+        size = int(self._rng.integers(self.low, self.high + 1))
+        size = max(1, min(size, remaining))
+        self._scheduled += size
+        return size
+
+    @property
+    def scheduled(self) -> int:
+        return self._scheduled
+
+
+# ---------------------------------------------------------------------------
+# Technique descriptors
+# ---------------------------------------------------------------------------
+
+
+class Static(Technique):
+    name = "STATIC"
+    openmp_clause = "schedule(static)"
+    pinned_per_pe = True
+    description = "One chunk of ceil(N/P) per PE; lowest scheduling overhead."
+
+    def make(self, n, p, **kwargs) -> ChunkCalculator:
+        return _FixedSizeCalculator(self.name, n, p, ceil_div(max(n, 1), p))
+
+
+class SelfScheduling(Technique):
+    name = "SS"
+    openmp_clause = "schedule(dynamic,1)"
+    description = "Pure self-scheduling: chunk = 1; maximal balance, maximal overhead."
+
+    def make(self, n, p, **kwargs) -> ChunkCalculator:
+        return _FixedSizeCalculator(self.name, n, p, 1)
+
+
+class Fsc(Technique):
+    name = "FSC"
+    needs_profile = True
+    description = "Kruskal-Weiss fixed-size chunking from (mu, sigma, h)."
+
+    def make(self, n, p, *, profile=None, chunk_overhead=None, **kwargs):
+        prof = self._require_profile(profile)
+        h = chunk_overhead if chunk_overhead is not None else prof.h
+        if p < 2 or prof.sigma == 0.0 or n == 0:
+            size = ceil_div(max(n, 1), p)
+        else:
+            size = (
+                (math.sqrt(2.0) * n * h) / (prof.sigma * p * math.sqrt(math.log(p)))
+            ) ** (2.0 / 3.0)
+            if not math.isfinite(size) or size >= n:
+                # vanishing sigma (or overwhelming h) drives the formula
+                # to infinity: FSC degenerates to the static split, its
+                # sigma -> 0 limit
+                size = ceil_div(max(n, 1), p)
+            size = max(1, int(math.ceil(size)))
+        return _FixedSizeCalculator(self.name, n, p, size)
+
+
+class MFsc(Technique):
+    name = "mFSC"
+    description = (
+        "Profiling-free FSC: fixed chunk matching FAC2's chunk count "
+        "(P chunks per halving batch)."
+    )
+
+    def make(self, n, p, **kwargs):
+        if n <= p:
+            size = 1
+        else:
+            batches = max(1, math.ceil(math.log2(n / p)))
+            size = ceil_div(n, p * batches)
+        return _FixedSizeCalculator(self.name, n, p, size)
+
+
+class Gss(Technique):
+    name = "GSS"
+    openmp_clause = "schedule(guided,1)"
+    description = "Guided self-scheduling: C_i = ceil(R_i/P)."
+
+    def make(self, n, p, **kwargs):
+        return _GssCalculator(self.name, n, p)
+
+
+class Tap(Technique):
+    name = "TAP"
+    needs_profile = True
+    description = "Lucco's tapering: GSS shrunk by a variance safety margin."
+
+    def make(self, n, p, *, profile=None, **kwargs):
+        return _TapCalculator(self.name, n, p, self._require_profile(profile))
+
+
+class Tss(Technique):
+    name = "TSS"
+    openmp_extension_clause = "schedule(runtime) [LaPeSD-libGOMP tss]"
+    description = "Trapezoid self-scheduling: linear chunk decrement."
+
+    def make(self, n, p, **kwargs):
+        return _TssCalculator(self.name, n, p)
+
+
+class Tfss(Technique):
+    name = "TFSS"
+    description = "Trapezoid factoring: batches of P equal chunks, TSS means."
+
+    def make(self, n, p, **kwargs):
+        return _TfssCalculator(self.name, n, p)
+
+
+class Fac(Technique):
+    name = "FAC"
+    needs_profile = True
+    description = "Probabilistic factoring (Hummel et al.) from (mu, sigma)."
+
+    def make(self, n, p, *, profile=None, **kwargs):
+        return _FacCalculator(self.name, n, p, self._require_profile(profile))
+
+
+class Fac2(Technique):
+    name = "FAC2"
+    openmp_extension_clause = "schedule(runtime) [LaPeSD-libGOMP fac2]"
+    description = "Practical factoring: each batch schedules half the remainder."
+
+    def make(self, n, p, **kwargs):
+        return _Fac2Calculator(self.name, n, p)
+
+
+class Wf(Technique):
+    name = "WF"
+    openmp_extension_clause = "schedule(runtime) [LaPeSD-libGOMP wf]"
+    pe_dependent = True
+    needs_weights = True
+    description = "Weighted factoring: FAC2 chunks scaled by fixed PE weights."
+
+    def make(self, n, p, *, weights=None, **kwargs):
+        return _WeightedCalculator(self.name, n, p, self._require_weights(weights, p))
+
+
+class Awf(Technique):
+    name = "AWF"
+    pe_dependent = True
+    description = (
+        "Adaptive weighted factoring: WF whose weights are refreshed "
+        "between outer time steps (use calculator.weights assignment or "
+        "record() feedback via AWF-B/C/D/E for intra-loop adaptation)."
+    )
+
+    def make(self, n, p, *, weights=None, **kwargs):
+        return _WeightedCalculator(self.name, n, p, self._require_weights(weights, p))
+
+
+def _make_awf_variant(variant: str) -> type:
+    class _AwfVariant(Technique):
+        name = f"AWF-{variant}"
+        pe_dependent = True
+        adaptive = True
+        description = {
+            "B": "AWF adapting weights at batch boundaries (compute time).",
+            "C": "AWF adapting weights at every chunk (compute time).",
+            "D": "AWF-B including scheduling overhead in the timings.",
+            "E": "AWF-C including scheduling overhead in the timings.",
+        }[variant]
+
+        def make(self, n, p, **kwargs):
+            return _AwfRuntimeCalculator(self.name, n, p, variant)
+
+    _AwfVariant.__name__ = f"Awf{variant}"
+    return _AwfVariant
+
+
+AwfB = _make_awf_variant("B")
+AwfC = _make_awf_variant("C")
+AwfD = _make_awf_variant("D")
+AwfE = _make_awf_variant("E")
+
+
+class Af(Technique):
+    name = "AF"
+    pe_dependent = True
+    adaptive = True
+    description = "Adaptive factoring: FAC with per-PE (mu, sigma) estimated online."
+
+    def make(self, n, p, **kwargs):
+        return _AfCalculator(self.name, n, p)
+
+
+class Rnd(Technique):
+    name = "RND"
+    openmp_extension_clause = "schedule(runtime) [LaPeSD-libGOMP random]"
+    description = "Random chunk in [N/(100P), N/(2P)] (seeded)."
+
+    def make(self, n, p, *, rng=None, **kwargs):
+        if rng is None:
+            rng = np.random.default_rng(0)
+        return _RndCalculator(self.name, n, p, rng)
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+TECHNIQUES: Dict[str, Technique] = {
+    t.name: t
+    for t in (
+        Static(),
+        SelfScheduling(),
+        Fsc(),
+        MFsc(),
+        Gss(),
+        Tap(),
+        Tss(),
+        Tfss(),
+        Fac(),
+        Fac2(),
+        Wf(),
+        Awf(),
+        AwfB(),
+        AwfC(),
+        AwfD(),
+        AwfE(),
+        Af(),
+        Rnd(),
+    )
+}
+
+#: The five techniques evaluated in the paper, in presentation order.
+PAPER_TECHNIQUES = ("STATIC", "SS", "GSS", "TSS", "FAC2")
+
+#: Intra-node techniques available through the *Intel* OpenMP runtime
+#: (paper Table 1 / Section 5) — limits the MPI+OpenMP series in Figs 4-7.
+INTEL_OPENMP_SUPPORTED = ("STATIC", "SS", "GSS")
+
+
+def get_technique(name: str) -> Technique:
+    """Look up a technique by (case-insensitive) name."""
+    key = name.strip().upper()
+    if key == "MFSC":
+        key = "mFSC"
+    technique = TECHNIQUES.get(key)
+    if technique is None:
+        known = ", ".join(sorted(TECHNIQUES))
+        raise TechniqueError(f"unknown DLS technique {name!r}; known: {known}")
+    return technique
+
+
+def list_techniques() -> List[Dict[str, object]]:
+    """Metadata rows (name, clause, flags) — regenerates paper Table 1."""
+    rows = []
+    for name in sorted(TECHNIQUES):
+        t = TECHNIQUES[name]
+        rows.append(
+            {
+                "name": t.name,
+                "openmp_clause": t.openmp_clause,
+                "openmp_extension_clause": t.openmp_extension_clause,
+                "adaptive": t.adaptive,
+                "pe_dependent": t.pe_dependent,
+                "needs_profile": t.needs_profile,
+                "needs_weights": t.needs_weights,
+                "description": t.description,
+            }
+        )
+    return rows

@@ -1,0 +1,40 @@
+"""Experiment harness (S10): regenerate every table and figure.
+
+The paper's evaluation artefacts map to this package as follows
+(see DESIGN.md's per-experiment index):
+
+* Table 1  -> :func:`repro.experiments.tables.table1`
+* Figure 2/3 (sync illustration) -> :func:`repro.experiments.figures.run_sync_illustration`
+* Figures 4-7 -> :func:`repro.experiments.figures.run_figure` with ids
+  ``fig4a`` ... ``fig7b``
+* In-text numbers (Sec. 5) -> :func:`repro.experiments.intext.run_intext`
+* Ablations A-1..A-4 -> :mod:`repro.experiments.ablations`
+
+All experiments run on the calibrated figure workloads from
+:mod:`repro.experiments.workloads` and print paper-style series plus
+qualitative *shape checks* that encode the paper's findings.
+"""
+
+from repro.experiments.figures import (
+    FIGURES,
+    FigureResult,
+    FigureSpec,
+    run_figure,
+    run_sync_illustration,
+)
+from repro.experiments.harness import GridRunner, scale_from_env
+from repro.experiments.tables import table1
+from repro.experiments.workloads import figure_mandelbrot, figure_psia
+
+__all__ = [
+    "FIGURES",
+    "FigureResult",
+    "FigureSpec",
+    "GridRunner",
+    "figure_mandelbrot",
+    "figure_psia",
+    "run_figure",
+    "run_sync_illustration",
+    "scale_from_env",
+    "table1",
+]

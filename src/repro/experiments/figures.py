@@ -1,0 +1,283 @@
+"""Figure definitions, shape checks, and paper-style reports.
+
+``fig4`` .. ``fig7`` sweep the intra-node techniques (panels) over
+cluster sizes for a fixed inter-node technique, for both applications
+(``a`` = Mandelbrot, ``b`` = PSIA), exactly mirroring the paper's
+Figures 4-7.  Each figure carries *shape checks* that encode the
+paper's qualitative findings; the benchmark harness prints them as
+PASS/FAIL lines and EXPERIMENTS.md records them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.api import run_hierarchical
+from repro.cluster.machine import minihpc
+from repro.core.techniques import INTEL_OPENMP_SUPPORTED, PAPER_TECHNIQUES
+from repro.experiments.harness import Cell, GridRunner, series
+from repro.experiments.workloads import figure_workload, scale_from_env
+
+#: plotted approaches: label -> (model name, intra-technique filter)
+APPROACHES: List[Tuple[str, Callable[[str], bool]]] = [
+    # the Intel OpenMP runtime the paper used only provides
+    # static/dynamic/guided, so MPI+OpenMP series exist only for those
+    ("mpi+openmp", lambda intra: intra in INTEL_OPENMP_SUPPORTED),
+    ("mpi+mpi", lambda intra: True),
+]
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One paper figure: an application swept under one inter technique."""
+
+    figure_id: str
+    paper_ref: str
+    app: str
+    inter: str
+    intras: Tuple[str, ...] = PAPER_TECHNIQUES
+    node_counts: Tuple[int, ...] = (2, 4, 8, 16)
+    ppn: int = 16
+
+    @property
+    def title(self) -> str:
+        return (
+            f"{self.paper_ref}: {self.app} with {self.inter} inter-node "
+            f"scheduling ({self.ppn} workers/node)"
+        )
+
+
+FIGURES: Dict[str, FigureSpec] = {}
+for _fig, _inter in (("fig4", "STATIC"), ("fig5", "GSS"), ("fig6", "TSS"), ("fig7", "FAC2")):
+    for _sub, _app in (("a", "mandelbrot"), ("b", "psia")):
+        _id = f"{_fig}{_sub}"
+        FIGURES[_id] = FigureSpec(
+            figure_id=_id,
+            paper_ref=f"Figure {_fig[3]}{_sub}",
+            app=_app,
+            inter=_inter,
+        )
+
+
+@dataclass
+class ShapeCheck:
+    """One qualitative acceptance criterion with its outcome."""
+
+    description: str
+    passed: bool
+    detail: str = ""
+
+    def line(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        out = f"  [{mark}] {self.description}"
+        if self.detail:
+            out += f"  ({self.detail})"
+        return out
+
+
+@dataclass
+class FigureResult:
+    spec: FigureSpec
+    cells: List[Cell]
+    checks: List[ShapeCheck] = field(default_factory=list)
+
+    def series(self, approach: str, intra: str) -> Dict[int, float]:
+        return series(self.cells, approach, intra)
+
+    # ------------------------------------------------------------------
+    def run_checks(self) -> List[ShapeCheck]:
+        """Evaluate the paper's qualitative findings on this figure."""
+        checks: List[ShapeCheck] = []
+        spec = self.spec
+
+        def ratio_at(intra: str, nodes: int) -> Optional[float]:
+            hybrid = self.series("mpi+openmp", intra)
+            mpimpi = self.series("mpi+mpi", intra)
+            if nodes not in hybrid or nodes not in mpimpi or mpimpi[nodes] == 0:
+                return None
+            return hybrid[nodes] / mpimpi[nodes]
+
+        # 1. strong scaling for every series
+        for approach, supports in APPROACHES:
+            for intra in spec.intras:
+                if not supports(intra):
+                    continue
+                s = self.series(approach, intra)
+                if len(s) >= 2:
+                    first, last = s[min(s)], s[max(s)]
+                    checks.append(
+                        ShapeCheck(
+                            f"{approach} {spec.inter}+{intra}: time shrinks "
+                            f"{min(s)}->{max(s)} nodes",
+                            passed=last < first,
+                            detail=f"{first:.4g}s -> {last:.4g}s",
+                        )
+                    )
+
+        # 2. X+SS: MPI+MPI is the poorest (lock polling)
+        ss_ratios = [r for n in spec.node_counts if (r := ratio_at("SS", n))]
+        if ss_ratios:
+            worst = min(ss_ratios)
+            checks.append(
+                ShapeCheck(
+                    f"{spec.inter}+SS: MPI+MPI slower than MPI+OpenMP "
+                    "(lock-polling contention)",
+                    passed=all(r < 1.0 for r in ss_ratios),
+                    detail=f"hybrid/mpimpi ratios {['%.2f' % r for r in ss_ratios]}",
+                )
+            )
+
+        # 3. X+STATIC: MPI+MPI wins for dynamic inter techniques on the
+        #    strongly imbalanced Mandelbrot; for the mildly imbalanced
+        #    PSIA the paper reports a small win at 2 nodes converging to
+        #    parity at 16 (Sec. 5: "decreased load imbalance in PSIA");
+        #    for Fig 4 (STATIC inter) both approaches tie.
+        static_ratios = [r for n in spec.node_counts if (r := ratio_at("STATIC", n))]
+        if static_ratios:
+            if spec.inter == "STATIC":
+                passed = all(0.85 < r < 1.25 for r in static_ratios)
+                desc = "STATIC+STATIC: both approaches perform the same"
+            elif spec.app == "mandelbrot":
+                passed = max(static_ratios) > 1.15
+                desc = (
+                    f"{spec.inter}+STATIC: MPI+MPI clearly faster "
+                    "(no implicit barrier)"
+                )
+            else:  # psia: small-or-no gap, but never a loss
+                passed = static_ratios[0] > 0.95 and all(
+                    r > 0.9 for r in static_ratios
+                )
+                desc = (
+                    f"{spec.inter}+STATIC: MPI+MPI same or slightly better "
+                    "(mild PSIA imbalance)"
+                )
+            checks.append(
+                ShapeCheck(
+                    desc,
+                    passed=passed,
+                    detail=f"hybrid/mpimpi ratios {['%.2f' % r for r in static_ratios]}",
+                )
+            )
+
+        # 4. X+GSS parity-or-better for MPI+MPI (paper: same or better)
+        gss_ratios = [r for n in spec.node_counts if (r := ratio_at("GSS", n))]
+        if gss_ratios:
+            floor = 0.9 if spec.app == "mandelbrot" else 0.92
+            checks.append(
+                ShapeCheck(
+                    f"{spec.inter}+GSS: MPI+MPI same or better",
+                    passed=all(r > floor for r in gss_ratios),
+                    detail=f"hybrid/mpimpi ratios {['%.2f' % r for r in gss_ratios]}",
+                )
+            )
+
+        self.checks = checks
+        return checks
+
+    # ------------------------------------------------------------------
+    def to_text(self, shape_checks: bool = True) -> str:
+        """Paper-style panel table: one panel per intra technique."""
+        spec = self.spec
+        lines = [spec.title, "=" * len(spec.title)]
+        for intra in spec.intras:
+            lines.append(f"\n-- intra-node: {intra} "
+                         f"({spec.inter}+{intra}) --")
+            header = f"{'nodes':>6} | " + " | ".join(
+                f"{a:>12}" for a, _ in APPROACHES
+            )
+            lines.append(header)
+            lines.append("-" * len(header))
+            for nodes in spec.node_counts:
+                row = [f"{nodes:>6}"]
+                for approach, supports in APPROACHES:
+                    if not supports(intra):
+                        row.append(f"{'n/a':>12}")
+                        continue
+                    s = self.series(approach, intra)
+                    value = f"{s[nodes]:.4g}s" if nodes in s else "?"
+                    row.append(f"{value:>12}")
+                lines.append(" | ".join(row))
+        if shape_checks:
+            lines.append("\nshape checks (paper Sec. 5 findings):")
+            for check in self.checks or self.run_checks():
+                lines.append(check.line())
+        return "\n".join(lines)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(c.passed for c in (self.checks or self.run_checks()))
+
+
+def run_figure(
+    figure_id: str,
+    scale: Optional[str] = None,
+    seed: int = 0,
+    node_counts: Optional[Tuple[int, ...]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FigureResult:
+    """Regenerate one of the paper's figures (``fig4a`` .. ``fig7b``)."""
+    if figure_id not in FIGURES:
+        raise KeyError(f"unknown figure {figure_id!r}; known: {sorted(FIGURES)}")
+    spec = FIGURES[figure_id]
+    if node_counts is not None:
+        spec = FigureSpec(
+            figure_id=spec.figure_id,
+            paper_ref=spec.paper_ref,
+            app=spec.app,
+            inter=spec.inter,
+            intras=spec.intras,
+            node_counts=tuple(node_counts),
+            ppn=spec.ppn,
+        )
+    workload = figure_workload(spec.app, scale or scale_from_env())
+    runner = GridRunner(
+        workload=workload,
+        ppn=spec.ppn,
+        node_counts=spec.node_counts,
+        seed=seed,
+        progress=progress,
+    )
+    cells = runner.sweep(spec.inter, spec.intras, APPROACHES)
+    result = FigureResult(spec=spec, cells=cells)
+    result.run_checks()
+    return result
+
+
+def run_sync_illustration(scale: str = "quick", seed: int = 0) -> str:
+    """Regenerate Figures 2 and 3: the implicit-synchronisation Gantt
+    charts for MPI+OpenMP vs MPI+MPI on one node-pair slice."""
+    workload = figure_workload("mandelbrot", scale)
+    out = []
+    results = {}
+    # FAC2 at the inter level gives multiple scheduling rounds even on a
+    # single node (each batch takes half the remainder), so the per-chunk
+    # implicit barrier of Figure 2 appears repeatedly, as in the paper.
+    for approach, fig in (("mpi+openmp", "Figure 2"), ("mpi+mpi", "Figure 3")):
+        result = run_hierarchical(
+            workload,
+            minihpc(1, 8),
+            inter="FAC2",
+            intra="STATIC",
+            approach=approach,
+            ppn=8,
+            seed=seed,
+            collect_trace=True,
+            collect_chunks=False,
+        )
+        results[approach] = result
+        sync_total = sum(result.trace.sync_time_per_worker().values())
+        out.append(
+            f"{fig} ({approach}): t_end={result.parallel_time:.4g}s, "
+            f"total implicit-sync time={sync_total:.4g}s"
+        )
+        out.append(result.trace.render_gantt(width=88))
+        out.append("")
+    t_omp = results["mpi+openmp"].parallel_time
+    t_mpi = results["mpi+mpi"].parallel_time
+    verdict = "PASS" if t_mpi < t_omp else "FAIL"
+    out.append(
+        f"[{verdict}] t'_end ({t_mpi:.4g}s, MPI+MPI) < t_end ({t_omp:.4g}s, "
+        "MPI+OpenMP) as illustrated by the paper's Figures 2/3"
+    )
+    return "\n".join(out)

@@ -1,0 +1,121 @@
+"""Grid runner: sweep (approach x intra x nodes) cells for one figure.
+
+Runs are independent simulations; the runner caches nothing across
+cells except the workload object (which is the expensive part) and
+collects results into a tidy list for the report layer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.api import run_hierarchical
+from repro.cluster.machine import ClusterSpec, minihpc
+from repro.experiments.workloads import scale_from_env
+from repro.models.base import RunResult
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One grid cell: a single simulated execution."""
+
+    approach: str
+    inter: str
+    intra: str
+    nodes: int
+    time: float
+    overhead_fraction: float
+    idle_fraction: float
+    cov: float
+    n_events: int
+    wall_seconds: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.inter}+{self.intra}"
+
+
+@dataclass
+class GridRunner:
+    """Sweeps scheduling combinations over cluster sizes.
+
+    Parameters mirror the paper's setup: 16 workers per node, node
+    counts {2, 4, 8, 16}, inter technique fixed per figure, intra
+    techniques on the panels.
+    """
+
+    workload: Workload
+    ppn: int = 16
+    node_counts: Tuple[int, ...] = (2, 4, 8, 16)
+    seed: int = 0
+    cluster_factory: Callable[[int], ClusterSpec] = None
+    progress: Optional[Callable[[str], None]] = None
+
+    def __post_init__(self):
+        if self.cluster_factory is None:
+            self.cluster_factory = lambda n: minihpc(n, self.ppn)
+
+    def run_cell(self, approach: str, inter: str, intra: str, nodes: int) -> Cell:
+        t0 = time.perf_counter()
+        result: RunResult = run_hierarchical(
+            self.workload,
+            self.cluster_factory(nodes),
+            inter=inter,
+            intra=intra,
+            approach=approach,
+            ppn=self.ppn,
+            seed=self.seed,
+            collect_chunks=False,
+        )
+        wall = time.perf_counter() - t0
+        cell = Cell(
+            approach=approach,
+            inter=inter,
+            intra=intra,
+            nodes=nodes,
+            time=result.parallel_time,
+            overhead_fraction=result.metrics.overhead_fraction,
+            idle_fraction=result.metrics.idle_fraction,
+            cov=result.metrics.cov_finish,
+            n_events=result.n_events,
+            wall_seconds=wall,
+        )
+        if self.progress is not None:
+            self.progress(
+                f"  {approach:<11} {inter}+{intra:<7} nodes={nodes:<3} "
+                f"T={result.parallel_time:.4g}s  ({wall:.1f}s wall)"
+            )
+        return cell
+
+    def sweep(
+        self,
+        inter: str,
+        intras: Iterable[str],
+        approaches: Iterable[Tuple[str, Callable[[str], bool]]],
+    ) -> List[Cell]:
+        """Run the full panel grid.
+
+        ``approaches`` is a list of (approach, intra-filter) pairs; the
+        filter reproduces runtime restrictions (the Intel OpenMP stack
+        cannot run TSS/FAC2 at the intra level — paper Sec. 5).
+        """
+        cells: List[Cell] = []
+        for intra in intras:
+            for approach, supports in approaches:
+                if not supports(intra):
+                    continue
+                for nodes in self.node_counts:
+                    cells.append(self.run_cell(approach, inter, intra, nodes))
+        return cells
+
+
+def series(cells: List[Cell], approach: str, intra: str) -> Dict[int, float]:
+    """Extract one plotted line: nodes -> parallel time."""
+    return {
+        c.nodes: c.time
+        for c in sorted(cells, key=lambda c: c.nodes)
+        if c.approach == approach and c.intra == intra
+    }

@@ -1,0 +1,32 @@
+"""Execution models (S7): how hierarchical DLS actually runs.
+
+* :class:`~repro.models.mpi_mpi.MpiMpiModel` — the paper's proposed
+  MPI+MPI approach: a global RMA work queue plus a per-node
+  shared-memory local queue; ``ppn`` MPI processes per node; the
+  fastest free process refills the local queue; no barriers anywhere.
+* :class:`~repro.models.mpi_openmp.MpiOpenMpModel` — the baseline
+  hybrid: one MPI process per node, a simulated OpenMP team per
+  process, implicit barrier after every chunk.
+* :class:`~repro.models.flat_mpi.FlatMpiModel` — non-hierarchical
+  distributed chunk calculation (every rank goes straight to the
+  global queue; Eleliemy & Ciorba PDP 2019), an ablation showing what
+  the local queue buys.
+* :class:`~repro.models.master_worker.MasterWorkerModel` — the classic
+  centralised master-worker (DLB-tool style, two-sided messages), the
+  historical baseline whose bottleneck motivated hierarchies.
+"""
+
+from repro.models.base import ExecutionModel, RunResult
+from repro.models.flat_mpi import FlatMpiModel
+from repro.models.master_worker import MasterWorkerModel
+from repro.models.mpi_mpi import MpiMpiModel
+from repro.models.mpi_openmp import MpiOpenMpModel
+
+__all__ = [
+    "ExecutionModel",
+    "FlatMpiModel",
+    "MasterWorkerModel",
+    "MpiMpiModel",
+    "MpiOpenMpModel",
+    "RunResult",
+]

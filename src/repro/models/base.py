@@ -1,0 +1,288 @@
+"""Shared machinery for execution models.
+
+Each model builds a simulated run of one parallel loop: a simulator, an
+MPI world over a cluster, per-worker speed factors (node speed x static
+core noise), jittered execution times, and a uniform
+:class:`RunResult`.  The chunk-dispensing protocols of the distributed
+chunk-calculation approach (deterministic step counter vs adaptive
+scheduled-count, and pinned STATIC) live here because every model needs
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.costs import CostModel, DEFAULT_COSTS
+from repro.cluster.machine import ClusterSpec
+from repro.cluster.noise import MILD_NOISE, NoiseModel
+from repro.core.chunking import Chunk, verify_schedule
+from repro.core.hierarchy import HierarchicalSpec
+from repro.core.metrics import LoadMetrics, WorkerStats, compute_metrics
+from repro.core.technique_base import ChunkCalculator
+from repro.core.trace import Trace
+from repro.sim.engine import Simulator
+from repro.sim.primitives import Overhead
+from repro.smpi.rma import Window
+from repro.smpi.world import MpiWorld, RankCtx
+from repro.workloads.base import Workload
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated loop execution."""
+
+    approach: str
+    workload: str
+    spec_label: str
+    n_nodes: int
+    ppn: int
+    seed: int
+    #: the headline number (paper Figures 4-7): loop parallel time
+    parallel_time: float
+    metrics: LoadMetrics
+    #: inter-node level chunks (step, start, size, pe=node)
+    chunks: List[Chunk] = field(default_factory=list, repr=False)
+    #: worker-level sub-chunk assignments (present if collect_chunks)
+    subchunks: List[Chunk] = field(default_factory=list, repr=False)
+    trace: Optional[Trace] = field(default=None, repr=False)
+    #: runtime counters (lock contention, atomics, fetches, ...)
+    counters: Dict[str, Any] = field(default_factory=dict)
+    n_events: int = 0
+
+    @property
+    def workers(self) -> int:
+        return self.metrics and len(self.metrics.workers)
+
+    def describe(self) -> str:
+        return (
+            f"{self.approach:<12} {self.spec_label:<14} {self.workload:<18} "
+            f"nodes={self.n_nodes:<3} ppn={self.ppn:<3} "
+            f"T={self.parallel_time:.4g}s"
+        )
+
+
+class ExecutionModel:
+    """Base class: model-specific ``_execute`` over shared scaffolding."""
+
+    name: str = "?"
+
+    def inter_pe_count(self, cluster: ClusterSpec, ppn: int) -> int:
+        """Number of PEs at the inter (first) scheduling level.
+
+        Hierarchical models schedule across *nodes*; the flat and
+        master-worker baselines schedule across individual workers.
+        Drivers like :class:`repro.core.timestepping.TimeSteppedLoop`
+        use this to size per-PE weight vectors.
+        """
+        return cluster.n_nodes
+
+    def run(
+        self,
+        workload: Workload,
+        cluster: ClusterSpec,
+        spec: HierarchicalSpec,
+        ppn: Optional[int] = None,
+        seed: int = 0,
+        collect_trace: bool = False,
+        collect_chunks: bool = True,
+        costs: Optional[CostModel] = None,
+        noise: Optional[NoiseModel] = None,
+        verify: bool = True,
+    ) -> RunResult:
+        """Simulate one loop execution; see :func:`repro.api.run_hierarchical`."""
+        run = _Run(
+            model=self,
+            workload=workload,
+            cluster=cluster,
+            spec=spec,
+            ppn=ppn,
+            seed=seed,
+            collect_trace=collect_trace,
+            collect_chunks=collect_chunks,
+            costs=costs or DEFAULT_COSTS,
+            noise=noise or MILD_NOISE,
+        )
+        self._execute(run)
+        return run.finish(verify=verify)
+
+    # subclasses implement: build rank mains, launch, record stats ------
+    def _execute(self, run: "_Run") -> None:
+        raise NotImplementedError
+
+
+class _Run:
+    """Mutable state for one simulated execution."""
+
+    def __init__(
+        self,
+        model: ExecutionModel,
+        workload: Workload,
+        cluster: ClusterSpec,
+        spec: HierarchicalSpec,
+        ppn: Optional[int],
+        seed: int,
+        collect_trace: bool,
+        collect_chunks: bool,
+        costs: CostModel,
+        noise: NoiseModel,
+    ):
+        self.model = model
+        self.workload = workload
+        self.cluster = cluster
+        self.spec = spec
+        self.seed = seed
+        self.costs = costs
+        self.noise = noise
+        self.collect_chunks = collect_chunks
+        self.sim = Simulator(seed=seed)
+        self.trace: Optional[Trace] = Trace() if collect_trace else None
+        self.ppn = ppn if ppn is not None else min(n.cores for n in cluster.nodes)
+        # static per-core speed factors: node nominal speed x silicon noise
+        rng = self.sim.rng(f"core-noise.{noise.seed_tag}")
+        per_core = noise.core_factor(rng, cluster.n_nodes * self.ppn)
+        nominal = np.repeat([n.core_speed for n in cluster.nodes], self.ppn)
+        self.core_speed = nominal * per_core  # indexed by node * ppn + core
+        self._jitter_rng = self.sim.rng(f"chunk-jitter.{noise.seed_tag}")
+        # recorded outcomes
+        self.chunks: List[Chunk] = []
+        self.subchunks: List[Chunk] = []
+        self.worker_stats: List[WorkerStats] = []
+        self.counters: Dict[str, Any] = {}
+        self.executed_iterations = 0
+
+    # -- timing helpers --------------------------------------------------
+    def speed_of(self, node: int, core: int) -> float:
+        return float(self.core_speed[node * self.ppn + core])
+
+    def exec_time(self, start: int, size: int, node: int, core: int) -> float:
+        """Simulated duration of iterations [start, start+size) on a core."""
+        nominal = self.workload.block_cost(start, size)
+        jitter = self.noise.chunk_jitter(self._jitter_rng)
+        return nominal * jitter / self.speed_of(node, core)
+
+    # -- recording --------------------------------------------------------
+    def record_chunk(self, step: int, start: int, size: int, pe: int) -> None:
+        if self.collect_chunks:
+            self.chunks.append(Chunk(step=step, start=start, size=size, pe=pe))
+
+    def record_subchunk(self, step: int, start: int, size: int, pe: int) -> None:
+        self.executed_iterations += size
+        if self.collect_chunks:
+            self.subchunks.append(Chunk(step=step, start=start, size=size, pe=pe))
+
+    def record_worker(
+        self,
+        name: str,
+        node: int,
+        finish_time: float,
+        process,
+        n_chunks: int,
+        n_iterations: int,
+    ) -> None:
+        self.worker_stats.append(
+            WorkerStats(
+                name=name,
+                node=node,
+                finish_time=finish_time,
+                compute_time=process.compute_time,
+                overhead_time=process.overhead_time,
+                idle_time=process.idle_time + process.wait_time,
+                n_chunks=n_chunks,
+                n_iterations=n_iterations,
+            )
+        )
+
+    # -- finalisation ------------------------------------------------------
+    def finish(self, verify: bool = True) -> RunResult:
+        if verify and self.executed_iterations != self.workload.n:
+            raise AssertionError(
+                f"{self.model.name}: executed {self.executed_iterations} of "
+                f"{self.workload.n} iterations — scheduling bug"
+            )
+        if verify and self.collect_chunks and self.subchunks:
+            verify_schedule(self.subchunks, self.workload.n)
+        metrics = compute_metrics(self.worker_stats)
+        return RunResult(
+            approach=self.model.name,
+            workload=self.workload.name,
+            spec_label=self.spec.label,
+            n_nodes=self.cluster.n_nodes,
+            ppn=self.ppn,
+            seed=self.seed,
+            parallel_time=metrics.parallel_time,
+            metrics=metrics,
+            chunks=self.chunks,
+            subchunks=self.subchunks,
+            trace=self.trace,
+            counters=self.counters,
+            n_events=self.sim.n_events_processed,
+        )
+
+
+class GlobalQueue:
+    """The distributed chunk-calculation *global work queue*.
+
+    Wraps an RMA window with the two dispensing protocols:
+
+    * **deterministic** techniques: a single ``MPI_Fetch_and_op`` on the
+      ``step`` counter; size and start derive locally from the step
+      (closed form / memoised serial sequence);
+    * **adaptive / PE-dependent** techniques: fetch-and-increment the
+      step, compute the size from the calculator's runtime state, then
+      fetch-and-add the size to the ``scheduled`` counter — the fetched
+      old value is the chunk start.  Interleavings hand out relabelled
+      but still disjoint, covering ranges;
+    * **pinned** STATIC: PE ``pe`` takes exactly chunk ``pe`` without
+      touching the window (one scheduling round, as in the paper).
+    """
+
+    def __init__(
+        self,
+        world: MpiWorld,
+        calc: ChunkCalculator,
+        n: int,
+        host_rank: int = 0,
+        pinned: bool = False,
+    ):
+        self.world = world
+        self.calc = calc
+        self.n = n
+        self.pinned = pinned
+        self.window: Window = world.create_window(
+            host_rank, {"step": 0, "scheduled": 0}
+        )
+        self._pinned_taken: Dict[int, bool] = {}
+
+    def next_chunk(self, ctx: RankCtx, pe: int):
+        """Obtain the next chunk for ``pe``; returns (step, start, size)
+        with size == 0 when the loop is exhausted (generator)."""
+        chunk_calc_cost = self.world.costs.chunk_calc
+        if self.pinned:
+            yield Overhead(chunk_calc_cost)
+            if self._pinned_taken.get(pe):
+                return (-1, self.n, 0)
+            self._pinned_taken[pe] = True
+            size = self.calc.size_at(pe)
+            start = self.calc.start_at(pe)
+            return (pe, start, min(size, self.n - start))
+        if self.calc.deterministic:
+            step = yield from self.window.fetch_and_op(ctx, "step", 1)
+            yield Overhead(chunk_calc_cost)
+            size = self.calc.size_at(step)
+            if size <= 0:
+                return (step, self.n, 0)
+            start = self.calc.start_at(step)
+            return (step, start, size)
+        # adaptive: step counter + scheduled-count protocol
+        step = yield from self.window.fetch_and_op(ctx, "step", 1)
+        yield Overhead(chunk_calc_cost)
+        size = self.calc.size_at(step, pe=pe)
+        if size <= 0:
+            return (step, self.n, 0)
+        start = yield from self.window.fetch_and_op(ctx, "scheduled", size)
+        size = max(0, min(size, self.n - start))
+        return (step, start, size)

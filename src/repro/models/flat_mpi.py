@@ -1,0 +1,89 @@
+"""Non-hierarchical baseline: flat distributed chunk calculation.
+
+Every MPI process obtains its chunks directly from the global RMA work
+queue using the *inter*-level technique with ``P = total workers`` — the
+approach of Eleliemy & Ciorba (PDP 2019 [15]) that the paper's
+hierarchical scheme extends.  There is no local queue, so every chunk
+request crosses the network (except for ranks co-located with the
+window host), and fine-grained techniques hammer the single atomic
+unit at the host — the scalability gap that motivates the hierarchy
+(ablation A-2).
+
+The ``intra`` level of the spec is ignored (there is only one level);
+runs are labelled ``X+—``.
+"""
+
+from __future__ import annotations
+
+from repro.core import trace as trace_mod
+from repro.models.base import ExecutionModel, GlobalQueue, _Run
+from repro.sim.primitives import Compute
+from repro.smpi.world import MpiWorld, RankCtx
+
+
+class FlatMpiModel(ExecutionModel):
+    """Flat (single-level) distributed chunk calculation."""
+
+    name = "flat-mpi"
+
+    def inter_pe_count(self, cluster, ppn: int) -> int:
+        return cluster.n_nodes * ppn
+
+    def _execute(self, run: _Run) -> None:
+        world = MpiWorld(run.sim, run.cluster, ppn=run.ppn, costs=run.costs)
+        total_workers = world.size
+        calc = run.spec.inter.make_calculator(
+            run.workload.n,
+            total_workers,
+            rng=run.sim.rng("inter-rnd"),
+            chunk_overhead=run.costs.chunk_calc,
+        )
+        queue = GlobalQueue(
+            world,
+            calc,
+            run.workload.n,
+            host_rank=0,
+            pinned=run.spec.inter.technique.pinned_per_pe,
+        )
+        finish_times = {}
+        chunk_counts = {}
+        iter_counts = {}
+
+        def worker(ctx: RankCtx):
+            n_chunks = 0
+            n_iters = 0
+            while True:
+                t_obtain = run.sim.now
+                step, start, size = yield from queue.next_chunk(ctx, pe=ctx.rank)
+                if size <= 0:
+                    break
+                if run.trace is not None and run.sim.now > t_obtain:
+                    run.trace.add(
+                        ctx.name(), t_obtain, run.sim.now, trace_mod.OBTAIN
+                    )
+                run.record_chunk(step, start, size, pe=ctx.rank)
+                duration = run.exec_time(start, size, ctx.node, ctx.core)
+                t0 = run.sim.now
+                yield Compute(duration)
+                if run.trace is not None:
+                    run.trace.add(ctx.name(), t0, run.sim.now, trace_mod.COMPUTE)
+                calc.record(ctx.rank, size, compute_time=duration)
+                run.record_subchunk(step, start, size, pe=ctx.rank)
+                n_chunks += 1
+                n_iters += size
+            finish_times[ctx.rank] = run.sim.now
+            chunk_counts[ctx.rank] = n_chunks
+            iter_counts[ctx.rank] = n_iters
+
+        processes = world.run(worker)
+        for process, ctx in zip(processes, world.contexts):
+            run.record_worker(
+                name=ctx.name(),
+                node=ctx.node,
+                finish_time=finish_times[ctx.rank],
+                process=process,
+                n_chunks=chunk_counts[ctx.rank],
+                n_iterations=iter_counts[ctx.rank],
+            )
+        run.counters["global_atomics"] = queue.window.n_atomics
+        run.counters["remote_atomics"] = queue.window.n_remote_atomics

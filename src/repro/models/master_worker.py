@@ -1,0 +1,125 @@
+"""Centralised master-worker baseline (DLB-tool style).
+
+The historical implementation strategy for DLS on distributed memory
+(Cariño & Banicescu's DLB tool [10], DLBL [11]): one dedicated master
+rank receives work requests over two-sided messages, computes each
+chunk with the selected technique, and replies with the assignment.
+
+Characteristics the ablation (A-2) exposes:
+
+* request/response latency on every chunk (two messages);
+* the master serialises *all* chunk calculations — with many workers
+  and fine-grained techniques it becomes the bottleneck the paper's
+  Section 2 describes;
+* one worker slot is lost to the dedicated master (rank 0 does not
+  execute iterations), mirroring HDSS [13] rather than the DLB tool's
+  participating master.
+
+The ``intra`` level of the spec is ignored (single-level scheduling).
+"""
+
+from __future__ import annotations
+
+from repro.core import trace as trace_mod
+from repro.models.base import ExecutionModel, _Run
+from repro.sim.primitives import Compute, Overhead
+from repro.smpi.world import MpiWorld, RankCtx
+
+#: message tags
+TAG_REQUEST = 1
+TAG_ASSIGN = 2
+
+
+class MasterWorkerModel(ExecutionModel):
+    """Classic two-sided master-worker self-scheduling."""
+
+    name = "master-worker"
+
+    def inter_pe_count(self, cluster, ppn: int) -> int:
+        return cluster.n_nodes * ppn - 1  # rank 0 is the dedicated master
+
+    def _execute(self, run: _Run) -> None:
+        world = MpiWorld(run.sim, run.cluster, ppn=run.ppn, costs=run.costs)
+        n_workers = world.size - 1
+        if n_workers < 1:
+            raise ValueError("master-worker needs at least 2 ranks")
+        calc = run.spec.inter.make_calculator(
+            run.workload.n,
+            n_workers,
+            rng=run.sim.rng("inter-rnd"),
+            chunk_overhead=run.costs.chunk_calc,
+        )
+        n = run.workload.n
+        finish_times = {}
+        chunk_counts = {}
+        iter_counts = {}
+
+        def master(ctx: RankCtx):
+            scheduled = 0
+            step = 0
+            done_sent = 0
+            while done_sent < n_workers:
+                source, _ = yield from ctx.recv_any(TAG_REQUEST)
+                if scheduled >= n:
+                    yield from ctx.send(source, TAG_ASSIGN, None)
+                    done_sent += 1
+                    continue
+                # chunk calculation happens *at the master*, serialised
+                yield Overhead(run.costs.chunk_calc)
+                size = calc.size_at(step, pe=(source - 1) % n_workers)
+                size = max(1, min(size, n - scheduled))
+                assignment = (step, scheduled, size)
+                run.record_chunk(step, scheduled, size, pe=source)
+                scheduled += size
+                step += 1
+                yield from ctx.send(source, TAG_ASSIGN, assignment)
+            finish_times[ctx.rank] = run.sim.now
+            chunk_counts[ctx.rank] = 0
+            iter_counts[ctx.rank] = 0
+
+        def worker(ctx: RankCtx):
+            n_chunks = 0
+            n_iters = 0
+            while True:
+                t_obtain = run.sim.now
+                yield from ctx.send(0, TAG_REQUEST, None)
+                assignment = yield from ctx.recv(0, TAG_ASSIGN)
+                if assignment is None:
+                    break
+                step, start, size = assignment
+                if run.trace is not None and run.sim.now > t_obtain:
+                    run.trace.add(
+                        ctx.name(), t_obtain, run.sim.now, trace_mod.OBTAIN
+                    )
+                duration = run.exec_time(start, size, ctx.node, ctx.core)
+                t0 = run.sim.now
+                yield Compute(duration)
+                if run.trace is not None:
+                    run.trace.add(ctx.name(), t0, run.sim.now, trace_mod.COMPUTE)
+                calc.record((ctx.rank - 1) % n_workers, size, compute_time=duration)
+                run.record_subchunk(step, start, size, pe=ctx.rank)
+                n_chunks += 1
+                n_iters += size
+            finish_times[ctx.rank] = run.sim.now
+            chunk_counts[ctx.rank] = n_chunks
+            iter_counts[ctx.rank] = n_iters
+
+        def main(ctx: RankCtx):
+            if ctx.rank == 0:
+                yield from master(ctx)
+            else:
+                yield from worker(ctx)
+
+        processes = world.run(main)
+        for process, ctx in zip(processes, world.contexts):
+            run.record_worker(
+                name=ctx.name() + (".master" if ctx.rank == 0 else ""),
+                node=ctx.node,
+                finish_time=finish_times[ctx.rank],
+                process=process,
+                n_chunks=chunk_counts[ctx.rank],
+                n_iterations=iter_counts[ctx.rank],
+            )
+        run.counters["messages"] = sum(
+            box.n_delivered for box in world._mailboxes
+        )

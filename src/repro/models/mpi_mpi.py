@@ -1,0 +1,224 @@
+"""The paper's contribution: hierarchical DLS with the MPI+MPI approach.
+
+Architecture (paper Section 3, Figure 1):
+
+* one **global work queue** — an RMA window holding the latest
+  scheduling step and total scheduled iterations (distributed chunk
+  calculation, no master);
+* one **local work queue per node** — an MPI-3 shared-memory window
+  (``MPI_Win_allocate_shared``) guarded by exclusive
+  ``MPI_Win_lock``/``MPI_Win_unlock`` (lock *polling*!) and
+  ``MPI_Win_sync``;
+* ``ppn`` MPI processes per node, each one an independent worker:
+
+  1. lock the local queue and try to take a *sub-chunk* via the
+     intra-node DLS technique;
+  2. if the local queue is dry, unlock, obtain a *chunk* from the
+     global queue via the inter-node DLS technique, re-lock, deposit
+     the chunk, take the first sub-chunk;
+  3. execute, repeat.
+
+Nobody waits for anybody: the responsibility for refilling is not
+pinned to a coordinator — whichever process drains the queue first
+(the *fastest* process) refills it, and several processes may refill
+concurrently (the queue holds a list of ranges).  There is no implicit
+barrier at any point, which is exactly what Figure 3 illustrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core import trace as trace_mod
+from repro.core.technique_base import ChunkCalculator
+from repro.models.base import ExecutionModel, GlobalQueue, _Run
+from repro.sim.primitives import Compute
+from repro.smpi.shm import SharedWindow
+from repro.smpi.world import MpiWorld, RankCtx
+
+
+@dataclass
+class _QueuedChunk:
+    """One deposited chunk in a node's local work queue."""
+
+    inter_step: int
+    start: int
+    size: int
+    taken: int = 0
+    local_step: int = 0
+    calc: Optional[ChunkCalculator] = None
+
+    @property
+    def remaining(self) -> int:
+        return self.size - self.taken
+
+
+class _LocalQueue:
+    """Python-side view of one node's shared-memory work queue.
+
+    All mutating methods must be called while the caller holds the
+    shared window's lock; the simulated access costs are charged by
+    the caller through ``SharedWindow.access``.
+    """
+
+    def __init__(self, run: _Run, node: int, shm: SharedWindow):
+        self.run = run
+        self.node = node
+        self.shm = shm
+        shm.cells.setdefault("global_done", 0)
+        self.ranges: List[_QueuedChunk] = []
+        shm.state["queue"] = self.ranges  # visible to tests/inspection
+
+    def deposit(self, inter_step: int, start: int, size: int) -> None:
+        calc = self.run.spec.intra.make_calculator(
+            size,
+            self.run.ppn,
+            rng=self.run.sim.rng(f"intra-rnd.n{self.node}"),
+            chunk_overhead=self.run.costs.chunk_calc,
+        )
+        self.ranges.append(
+            _QueuedChunk(inter_step=inter_step, start=start, size=size, calc=calc)
+        )
+
+    def take(self, local_rank: int):
+        """Take the next sub-chunk, or None if the queue is dry."""
+        while self.ranges:
+            head = self.ranges[0]
+            size = head.calc.size_at(head.local_step, pe=local_rank)
+            size = min(size, head.remaining)
+            if size <= 0:
+                self.ranges.pop(0)
+                continue
+            sub_start = head.start + head.taken
+            head.taken += size
+            head.local_step += 1
+            if head.remaining == 0:
+                self.ranges.pop(0)
+            return head, sub_start, size
+        return None
+
+
+class MpiMpiModel(ExecutionModel):
+    """Hierarchical DLS via MPI+MPI (the proposed approach)."""
+
+    name = "mpi+mpi"
+
+    def _execute(self, run: _Run) -> None:
+        world = MpiWorld(run.sim, run.cluster, ppn=run.ppn, costs=run.costs)
+        inter_calc = run.spec.inter.make_calculator(
+            run.workload.n,
+            run.cluster.n_nodes,
+            rng=run.sim.rng("inter-rnd"),
+            chunk_overhead=run.costs.chunk_calc,
+        )
+        queue = GlobalQueue(
+            world,
+            inter_calc,
+            run.workload.n,
+            host_rank=0,
+            pinned=run.spec.inter.technique.pinned_per_pe,
+        )
+        local_queues = {
+            node: _LocalQueue(run, node, world.create_shared_window(node, {}))
+            for node in range(run.cluster.n_nodes)
+        }
+        finish_times = {}
+        chunk_counts = {}
+        iter_counts = {}
+
+        def worker(ctx: RankCtx):
+            yield from self._worker_loop(
+                run, ctx, queue, local_queues[ctx.node], finish_times,
+                chunk_counts, iter_counts,
+            )
+
+        processes = world.run(worker)
+        for process, ctx in zip(processes, world.contexts):
+            run.record_worker(
+                name=ctx.name(),
+                node=ctx.node,
+                finish_time=finish_times[ctx.rank],
+                process=process,
+                n_chunks=chunk_counts[ctx.rank],
+                n_iterations=iter_counts[ctx.rank],
+            )
+        run.counters["global_atomics"] = queue.window.n_atomics
+        run.counters["remote_atomics"] = queue.window.n_remote_atomics
+        run.counters["lock_stats"] = {
+            node: lq.shm.contention_stats() for node, lq in local_queues.items()
+        }
+        run.counters["total_poll_wait"] = sum(
+            lq.shm.total_poll_wait for lq in local_queues.values()
+        )
+        run.counters["lock_acquisitions"] = sum(
+            lq.shm.n_acquisitions for lq in local_queues.values()
+        )
+
+    # ------------------------------------------------------------------
+    def _worker_loop(
+        self,
+        run: _Run,
+        ctx: RankCtx,
+        queue: GlobalQueue,
+        local: _LocalQueue,
+        finish_times,
+        chunk_counts,
+        iter_counts,
+    ):
+        shm = local.shm
+        sim = run.sim
+        trace = run.trace
+        worker_name = ctx.name()
+        n_chunks = 0
+        n_iters = 0
+
+        while True:
+            # ---- stage 1: try the local shared queue -------------------
+            t_obtain = sim.now
+            yield from shm.lock(ctx)
+            yield from shm.access(ctx, n=3)  # head pointers + counters
+            sub = local.take(ctx.local_rank)
+            if sub is None:
+                if shm.cells["global_done"]:
+                    yield from shm.unlock(ctx)
+                    break
+                # ---- stage 2: this process is currently the fastest ----
+                # It refills the local queue itself, holding the window
+                # lock across the global fetch (paper Fig. 1 steps 1-2):
+                # other local processes keep polling the lock meanwhile
+                # instead of waiting for a designated coordinator.
+                step, start, size = yield from queue.next_chunk(ctx, pe=ctx.node)
+                yield from shm.access(ctx, n=3)
+                if size > 0:
+                    local.deposit(step, start, size)
+                    run.record_chunk(step, start, size, pe=ctx.node)
+                    sub = local.take(ctx.local_rank)
+                else:
+                    shm.cells["global_done"] = 1
+                yield from shm.unlock(ctx)
+                yield from shm.sync(ctx)
+                if sub is None:
+                    continue
+            else:
+                yield from shm.unlock(ctx)
+                yield from shm.sync(ctx)
+
+            # ---- stage 3: execute the sub-chunk -------------------------
+            head, sub_start, sub_size = sub
+            if trace is not None and sim.now > t_obtain:
+                trace.add(worker_name, t_obtain, sim.now, trace_mod.OBTAIN)
+            duration = run.exec_time(sub_start, sub_size, ctx.node, ctx.core)
+            t0 = sim.now
+            yield Compute(duration)
+            if trace is not None:
+                trace.add(worker_name, t0, sim.now, trace_mod.COMPUTE)
+            head.calc.record(ctx.local_rank, sub_size, compute_time=duration)
+            queue.calc.record(ctx.node, sub_size, compute_time=duration)
+            run.record_subchunk(head.local_step - 1, sub_start, sub_size, pe=ctx.rank)
+            n_chunks += 1
+            n_iters += sub_size
+
+        finish_times[ctx.rank] = sim.now
+        chunk_counts[ctx.rank] = n_chunks
+        iter_counts[ctx.rank] = n_iters

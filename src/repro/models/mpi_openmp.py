@@ -1,0 +1,143 @@
+"""The baseline: hierarchical DLS with the hybrid MPI+OpenMP approach.
+
+One MPI process per compute node participates in the distributed chunk
+calculation (same global work queue as the MPI+MPI model).  Each chunk
+is executed by the process's OpenMP team using the selected
+``schedule`` clause; the **implicit barrier** that terminates every
+worksharing loop forces all threads to wait for the slowest one before
+the master can request the next chunk (paper Figure 2) — that idle
+time is the cost the MPI+MPI approach eliminates.
+
+The intra-node technique is translated to an OpenMP schedule through
+:meth:`repro.somp.schedule.ScheduleSpec.from_technique`.  With
+``intel_runtime=True`` (matching the paper's software stack) only
+STATIC/SS/GSS are accepted; TSS/FAC2 raise
+:class:`~repro.somp.schedule.UnsupportedScheduleError` exactly as they
+were unavailable in the paper's MPI+OpenMP experiments.
+
+``nowait_selffetch=True`` switches to the paper's Section 6
+future-work variant: threads skip the barrier and fetch chunks
+themselves under a serialising mutex (ablation A-3).
+"""
+
+from __future__ import annotations
+
+from repro.models.base import ExecutionModel, GlobalQueue, _Run
+from repro.smpi.world import MpiWorld, RankCtx
+from repro.somp.schedule import ScheduleSpec
+from repro.somp.team import OmpTeam
+
+
+class MpiOpenMpModel(ExecutionModel):
+    """Hierarchical DLS via hybrid MPI+OpenMP (the existing approach)."""
+
+    name = "mpi+openmp"
+
+    def __init__(self, intel_runtime: bool = False, nowait_selffetch: bool = False):
+        #: restrict schedules to the Intel runtime's static/dynamic/guided
+        self.intel_runtime = intel_runtime
+        #: use the nowait future-work execution style (ablation A-3)
+        self.nowait_selffetch = nowait_selffetch
+
+    def _execute(self, run: _Run) -> None:
+        # one MPI process per node; its team has `ppn` threads
+        world = MpiWorld(run.sim, run.cluster, ppn=1, costs=run.costs)
+        n_threads = run.ppn
+        inter_calc = run.spec.inter.make_calculator(
+            run.workload.n,
+            run.cluster.n_nodes,
+            rng=run.sim.rng("inter-rnd"),
+            chunk_overhead=run.costs.chunk_calc,
+        )
+        queue = GlobalQueue(
+            world,
+            inter_calc,
+            run.workload.n,
+            host_rank=0,
+            pinned=run.spec.inter.technique.pinned_per_pe,
+        )
+        omp_spec = ScheduleSpec.from_technique(
+            run.spec.intra.technique.name,
+            extensions=not self.intel_runtime,
+        )
+        if run.spec.intra.min_chunk > 1:
+            omp_spec = ScheduleSpec(omp_spec.kind, run.spec.intra.min_chunk)
+
+        teams: dict[int, OmpTeam] = {}
+        finish_times: dict[int, float] = {}
+
+        def node_main(ctx: RankCtx):
+            team = OmpTeam(
+                run.sim,
+                n_threads,
+                run.costs,
+                name=f"n{ctx.node}",
+                weights=None,
+                rng=run.sim.rng(f"omp-rnd.n{ctx.node}"),
+                trace=run.trace,
+            )
+            teams[ctx.node] = team
+
+            def body_time(start: int, size: int, tid: int) -> float:
+                run.record_subchunk(0, start, size, pe=ctx.node * n_threads + tid)
+                return run.exec_time(start, size, ctx.node, tid)
+
+            if self.nowait_selffetch:
+                yield from self._selffetch_main(run, ctx, queue, team, omp_spec, body_time)
+            else:
+                while True:
+                    step, start, size = yield from queue.next_chunk(ctx, pe=ctx.node)
+                    if size <= 0:
+                        break
+                    run.record_chunk(step, start, size, pe=ctx.node)
+                    t0 = run.sim.now
+                    yield from team.parallel_for(start, size, omp_spec, body_time)
+                    # runtime feedback for adaptive inter-node techniques:
+                    # the node processed `size` iterations in (now - t0)
+                    inter_calc.record(ctx.node, size, compute_time=run.sim.now - t0)
+            finish_times[ctx.node] = run.sim.now
+            team.shutdown()
+
+        world.run(node_main)
+
+        # Per-worker stats: each OpenMP thread is a worker.  Thread 0 is
+        # the rank process itself.
+        for ctx in world.contexts:
+            team = teams[ctx.node]
+            rank_process = ctx.process
+            thread_processes = [rank_process, *team.threads]
+            executed = {}
+            grabs = {}
+            for phase in team.phases:
+                for tid, n_it in phase.executed_per_thread.items():
+                    executed[tid] = executed.get(tid, 0) + n_it
+                for tid, n_g in phase.grabs.items():
+                    grabs[tid] = grabs.get(tid, 0) + n_g
+            for tid, process in enumerate(thread_processes):
+                run.record_worker(
+                    name=f"n{ctx.node}.t{tid}",
+                    node=ctx.node,
+                    finish_time=finish_times[ctx.node],
+                    process=process,
+                    n_chunks=grabs.get(tid, 0),
+                    n_iterations=executed.get(tid, 0),
+                )
+        run.counters["global_atomics"] = queue.window.n_atomics
+        run.counters["remote_atomics"] = queue.window.n_remote_atomics
+        run.counters["omp_phases"] = sum(len(t.phases) for t in teams.values())
+        run.counters["omp_grabs"] = sum(
+            t.stats()["total_grabs"] for t in teams.values()
+        )
+
+    # ------------------------------------------------------------------
+    def _selffetch_main(self, run, ctx, queue, team, omp_spec, body_time):
+        """Ablation A-3: threads fetch chunks themselves (nowait style)."""
+
+        def fetch():
+            step, start, size = yield from queue.next_chunk(ctx, pe=ctx.node)
+            if size <= 0:
+                return None
+            run.record_chunk(step, start, size, pe=ctx.node)
+            return (start, size)
+
+        yield from team.parallel_region_selffetch(omp_spec, body_time, fetch)

@@ -1,0 +1,250 @@
+"""Really-parallel execution of workloads with DLS chunk calculators.
+
+Two execution modes mirror the paper's architectures on one machine:
+
+* **flat** — all workers share one work queue (a counter + the
+  technique calculator behind one lock), i.e. the distributed
+  chunk-calculation approach collapsed onto shared memory;
+* **hierarchical** — workers form groups; each group has a local queue
+  refilled from the global queue by whichever group member drains it
+  first — exactly the MPI+MPI design with threads standing in for MPI
+  processes and a ``threading.Lock`` standing in for ``MPI_Win_lock``.
+
+Every grab goes through the same :class:`ChunkCalculator` objects the
+simulator uses, so schedule correctness properties proven in the
+simulator transfer to real executions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.chunking import Chunk, verify_schedule
+from repro.core.hierarchy import HierarchicalSpec, LevelSpec
+from repro.workloads.base import Workload
+
+
+@dataclass
+class NativeResult:
+    """Outcome of one real execution."""
+
+    workload: str
+    mode: str
+    n_workers: int
+    wall_seconds: float
+    #: chunks in grab order (worker-level)
+    chunks: List[Chunk]
+    #: per-worker executed iteration counts
+    per_worker_iterations: Dict[int, int]
+    #: per-worker busy seconds (sum of kernel times)
+    per_worker_busy: Dict[int, float]
+    #: concatenated kernel outputs, indexable by iteration (if collected)
+    outputs: Optional[Dict[int, Any]] = field(default=None, repr=False)
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(self.per_worker_iterations.values())
+
+    def verify(self, n: int) -> None:
+        """Assert the execution tiled the iteration space exactly."""
+        verify_schedule(self.chunks, n)
+
+
+class _GlobalQueue:
+    """Lock-protected (calculator, step, scheduled) triple."""
+
+    def __init__(self, calc, n: int):
+        self.calc = calc
+        self.n = n
+        self.step = 0
+        self.scheduled = 0
+        self.lock = threading.Lock()
+
+    def next_chunk(self, pe: int) -> Optional[Tuple[int, int, int]]:
+        with self.lock:
+            if self.scheduled >= self.n:
+                return None
+            size = self.calc.size_at(self.step, pe=pe)
+            if size <= 0:
+                return None
+            size = min(size, self.n - self.scheduled)
+            out = (self.step, self.scheduled, size)
+            self.step += 1
+            self.scheduled += size
+            return out
+
+
+class _LocalQueue:
+    """Per-group queue: the shared-memory local work queue analogue."""
+
+    def __init__(self, spec: LevelSpec, group_size: int):
+        self.spec = spec
+        self.group_size = group_size
+        self.lock = threading.Lock()
+        self.ranges: List[Dict[str, Any]] = []
+        self.global_done = False
+
+    def deposit(self, start: int, size: int) -> None:
+        self.ranges.append(
+            {
+                "start": start,
+                "size": size,
+                "taken": 0,
+                "step": 0,
+                "calc": self.spec.make_calculator(size, self.group_size),
+            }
+        )
+
+    def take(self, local_pe: int) -> Optional[Tuple[int, int]]:
+        while self.ranges:
+            head = self.ranges[0]
+            remaining = head["size"] - head["taken"]
+            if remaining <= 0:
+                self.ranges.pop(0)
+                continue
+            size = head["calc"].size_at(head["step"], pe=local_pe)
+            size = min(size, remaining)
+            if size <= 0:
+                self.ranges.pop(0)
+                continue
+            start = head["start"] + head["taken"]
+            head["taken"] += size
+            head["step"] += 1
+            return (start, size)
+        return None
+
+
+class NativeRunner:
+    """Run a workload's real kernels under DLS scheduling on threads."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        n_workers: int = 4,
+        collect_outputs: bool = False,
+    ):
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        if workload.executor is None:
+            raise ValueError(
+                f"workload {workload.name!r} has no real executor; the native "
+                "backend runs kernels, not cost models"
+            )
+        self.workload = workload
+        self.n_workers = n_workers
+        self.collect_outputs = collect_outputs
+
+    # ------------------------------------------------------------------
+    def run_flat(self, technique: "str | Any", **level_kwargs: Any) -> NativeResult:
+        """Single-level self-scheduling across all workers."""
+        spec = LevelSpec.of(technique, **level_kwargs)
+        calc = spec.make_calculator(
+            self.workload.n, self.n_workers, rng=np.random.default_rng(0)
+        )
+        queue = _GlobalQueue(calc, self.workload.n)
+
+        def worker_loop(pe: int, record) -> None:
+            while True:
+                grabbed = queue.next_chunk(pe)
+                if grabbed is None:
+                    return
+                step, start, size = grabbed
+                record(pe, step, start, size)
+
+        return self._execute("flat", worker_loop)
+
+    def run_hierarchical(
+        self,
+        spec: HierarchicalSpec,
+        n_groups: int,
+    ) -> NativeResult:
+        """Two-level scheduling: groups with local queues (MPI+MPI style)."""
+        if self.n_workers % n_groups != 0:
+            raise ValueError(
+                f"{self.n_workers} workers cannot form {n_groups} equal groups"
+            )
+        group_size = self.n_workers // n_groups
+        inter_calc = spec.inter.make_calculator(
+            self.workload.n, n_groups, rng=np.random.default_rng(0)
+        )
+        queue = _GlobalQueue(inter_calc, self.workload.n)
+        locals_ = [_LocalQueue(spec.intra, group_size) for _ in range(n_groups)]
+
+        def worker_loop(pe: int, record) -> None:
+            group = pe // group_size
+            local_pe = pe % group_size
+            local = locals_[group]
+            while True:
+                with local.lock:
+                    sub = local.take(local_pe)
+                    if sub is None:
+                        if local.global_done:
+                            return
+                        grabbed = queue.next_chunk(group)
+                        if grabbed is None:
+                            local.global_done = True
+                            return
+                        _step, start, size = grabbed
+                        local.deposit(start, size)
+                        sub = local.take(local_pe)
+                        if sub is None:  # pragma: no cover - defensive
+                            continue
+                start, size = sub
+                record(pe, -1, start, size)
+
+        return self._execute("hierarchical", worker_loop)
+
+    # ------------------------------------------------------------------
+    def _execute(self, mode: str, worker_loop) -> NativeResult:
+        chunks: List[Chunk] = []
+        chunks_lock = threading.Lock()
+        per_iter: Dict[int, int] = {pe: 0 for pe in range(self.n_workers)}
+        per_busy: Dict[int, float] = {pe: 0.0 for pe in range(self.n_workers)}
+        outputs: Optional[Dict[int, Any]] = {} if self.collect_outputs else None
+        errors: List[BaseException] = []
+
+        def record(pe: int, step: int, start: int, size: int) -> None:
+            t0 = time.perf_counter()
+            result = self.workload.execute(start, size)
+            per_busy[pe] += time.perf_counter() - t0
+            per_iter[pe] += size
+            with chunks_lock:
+                chunks.append(Chunk(step=max(step, 0), start=start, size=size, pe=pe))
+                if outputs is not None:
+                    outputs[start] = result
+
+        def runner(pe: int) -> None:
+            try:
+                worker_loop(pe, record)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=runner, args=(pe,), name=f"native-w{pe}")
+            for pe in range(self.n_workers)
+        ]
+        t0 = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - t0
+        if errors:
+            raise errors[0]
+        result = NativeResult(
+            workload=self.workload.name,
+            mode=mode,
+            n_workers=self.n_workers,
+            wall_seconds=wall,
+            chunks=chunks,
+            per_worker_iterations=per_iter,
+            per_worker_busy=per_busy,
+            outputs=outputs,
+        )
+        result.verify(self.workload.n)
+        return result

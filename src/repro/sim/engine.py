@@ -1,0 +1,272 @@
+"""The discrete-event simulation engine.
+
+The :class:`Simulator` owns a time-ordered event heap.  Each heap entry
+resumes one simulated :class:`Process` (a Python generator).  Processes
+communicate and synchronise exclusively through the primitives in
+:mod:`repro.sim.primitives` and the resources in
+:mod:`repro.sim.resources`, which keeps the engine itself tiny and the
+whole simulation deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.primitives import Command, Delay, DelayKind, Halt, SimEvent, Spawn
+
+ProcessBody = Generator[Command, Any, Any]
+
+
+class ProcessFailure(RuntimeError):
+    """Raised when a simulated process raises; carries the process name."""
+
+    def __init__(self, process: "Process", original: BaseException):
+        super().__init__(f"process {process.name!r} failed: {original!r}")
+        self.process = process
+        self.original = original
+
+
+class Process:
+    """A running simulated process.
+
+    Wraps the user generator together with its accounting state.  The
+    per-kind time accumulators (:attr:`compute_time`,
+    :attr:`overhead_time`, :attr:`idle_time`) are the raw material for
+    the metrics layer; *implicit* idle time (waiting on events) is the
+    remainder ``(end - start) - compute - overhead - idle``.
+    """
+
+    __slots__ = (
+        "name",
+        "gen",
+        "sim",
+        "alive",
+        "done",
+        "result",
+        "start_time",
+        "end_time",
+        "compute_time",
+        "overhead_time",
+        "idle_time",
+        "meta",
+    )
+
+    def __init__(self, sim: "Simulator", gen: ProcessBody, name: str):
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.alive = True
+        #: Triggered (with the generator's return value) on termination.
+        self.done = SimEvent(sim, name=f"{name}.done")
+        self.result: Any = None
+        self.start_time = sim.now
+        self.end_time: Optional[float] = None
+        self.compute_time = 0.0
+        self.overhead_time = 0.0
+        self.idle_time = 0.0
+        #: Free-form annotations (rank ids, node ids, ...), set by layers above.
+        self.meta: Dict[str, Any] = {}
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock (simulated) lifetime of the process so far."""
+        end = self.end_time if self.end_time is not None else self.sim.now
+        return end - self.start_time
+
+    @property
+    def wait_time(self) -> float:
+        """Implicit idle time spent blocked on events/resources."""
+        return max(
+            0.0, self.elapsed - self.compute_time - self.overhead_time - self.idle_time
+        )
+
+    def _account(self, delay: Delay) -> None:
+        if delay.kind is DelayKind.COMPUTE:
+            self.compute_time += delay.duration
+        elif delay.kind is DelayKind.OVERHEAD:
+            self.overhead_time += delay.duration
+        else:
+            self.idle_time += delay.duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "done"
+        return f"Process({self.name!r}, {state})"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all named RNG streams (see :meth:`rng`).
+    trace:
+        Optional callback ``(time, process_name, label, payload)``
+        invoked by instrumented layers; ``None`` disables tracing with
+        zero overhead at call sites that check :attr:`tracing`.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        trace: Optional[Callable[[float, str, str, Any], None]] = None,
+    ):
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Process, Any]] = []
+        self._seq = 0
+        self.seed = int(seed)
+        self._rngs: Dict[str, np.random.Generator] = {}
+        self.processes: List[Process] = []
+        self._halted: Optional[str] = None
+        self.trace = trace
+        self.n_events_processed = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    @property
+    def tracing(self) -> bool:
+        return self.trace is not None
+
+    def emit(self, process_name: str, label: str, payload: Any = None) -> None:
+        """Emit a trace record if tracing is enabled."""
+        if self.trace is not None:
+            self.trace(self.now, process_name, label, payload)
+
+    def rng(self, stream: str) -> np.random.Generator:
+        """Return the named deterministic RNG stream.
+
+        Streams are independent and reproducible: the same ``(seed,
+        stream)`` pair always yields the same sequence regardless of
+        creation order.
+        """
+        gen = self._rngs.get(stream)
+        if gen is None:
+            ss = np.random.SeedSequence(self.seed, spawn_key=(_stable_hash(stream),))
+            gen = np.random.default_rng(ss)
+            self._rngs[stream] = gen
+        return gen
+
+    def event(self, name: str = "") -> SimEvent:
+        """Create an event bound to this simulator."""
+        return SimEvent(self, name=name)
+
+    def spawn(self, gen: ProcessBody, name: Optional[str] = None) -> Process:
+        """Start a new process at the current simulation time."""
+        if not hasattr(gen, "send"):
+            raise TypeError(
+                f"spawn() needs a generator, got {type(gen).__name__}; "
+                "did you forget to call the process function?"
+            )
+        process = Process(self, gen, name or f"proc-{len(self.processes)}")
+        self.processes.append(process)
+        # Kick the generator off with an immediate resume so that spawn
+        # order (not creation order) defines execution order at t=now.
+        self._schedule_resume(process, None)
+        return process
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains, ``until`` is reached, or a halt.
+
+        Returns the final simulation time.  Re-entrant calls are not
+        supported (the engine is strictly single-threaded).
+        """
+        heap = self._heap
+        while heap:
+            time, _seq, process, value = heapq.heappop(heap)
+            if until is not None and time > until:
+                # Put it back so that a subsequent run() can continue.
+                heapq.heappush(heap, (time, _seq, process, value))
+                self.now = until
+                return self.now
+            self.now = time
+            self.n_events_processed += 1
+            self._step(process, value)
+            if self._halted is not None:
+                break
+        return self.now
+
+    @property
+    def halted_reason(self) -> Optional[str]:
+        return self._halted
+
+    # ------------------------------------------------------------------
+    # engine internals
+    # ------------------------------------------------------------------
+    def _schedule_resume(self, process: Process, value: Any, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, process, value))
+
+    def _step(self, process: Process, value: Any) -> None:
+        """Resume ``process`` with ``value`` and interpret its next command."""
+        if not process.alive:
+            return
+        while True:
+            try:
+                command = process.gen.send(value)
+            except StopIteration as stop:
+                self._finish(process, stop.value)
+                return
+            except ProcessFailure:
+                raise
+            except BaseException as exc:  # noqa: BLE001 - deliberate wrap
+                process.alive = False
+                process.end_time = self.now
+                raise ProcessFailure(process, exc) from exc
+
+            if type(command) is Delay or isinstance(command, Delay):
+                process._account(command)
+                if command.duration == 0.0:
+                    # Zero delays resume inline: cheap and keeps event
+                    # counts proportional to *time-consuming* actions.
+                    value = None
+                    continue
+                self._schedule_resume(process, None, command.duration)
+                return
+            if isinstance(command, SimEvent):
+                if command._sim is None:
+                    command.bind(self)
+                if command.triggered:
+                    value = command.value
+                    continue
+                command.add_waiter(process)
+                return
+            if isinstance(command, Spawn):
+                child = self.spawn(command.factory(), name=command.name)
+                value = child
+                continue
+            if isinstance(command, Halt):
+                self._halted = command.reason or "halted"
+                return
+            raise TypeError(
+                f"process {process.name!r} yielded unsupported command "
+                f"{command!r} of type {type(command).__name__}"
+            )
+
+    def _finish(self, process: Process, result: Any) -> None:
+        process.alive = False
+        process.result = result
+        process.end_time = self.now
+        process.done.trigger(result)
+
+
+def _stable_hash(text: str) -> int:
+    """A deterministic 32-bit hash (Python's ``hash`` is salted)."""
+    value = 2166136261
+    for byte in text.encode("utf-8"):
+        value = ((value ^ byte) * 16777619) & 0xFFFFFFFF
+    return value
+
+
+def drain(sim: Simulator, processes: Iterable[Process]) -> None:
+    """Run the simulator until every given process has terminated."""
+    sim.run()
+    pending = [p for p in processes if p.alive]
+    if pending:
+        names = ", ".join(p.name for p in pending[:8])
+        raise RuntimeError(
+            f"simulation deadlock: {len(pending)} processes still alive ({names})"
+        )

@@ -1,0 +1,188 @@
+"""Synchronisation resources built on the engine's event primitive.
+
+All resources are FIFO and deterministic.  They are deliberately
+minimal: higher-level constructs (MPI window locks with polling, OpenMP
+barriers with modelled costs) are built *on top of* these in
+:mod:`repro.smpi` and :mod:`repro.somp`, keeping the timing models out
+of the core engine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.primitives import Command, SimEvent
+
+
+class Lock:
+    """FIFO mutual-exclusion lock.
+
+    Usage inside a process::
+
+        yield from lock.acquire()
+        try:
+            ...
+        finally:
+            lock.release()
+    """
+
+    __slots__ = ("sim", "name", "_locked", "_waiters", "owner", "n_acquisitions")
+
+    def __init__(self, sim: Simulator, name: str = "lock"):
+        self.sim = sim
+        self.name = name
+        self._locked = False
+        self._waiters: Deque[SimEvent] = deque()
+        self.owner: Optional[str] = None
+        self.n_acquisitions = 0
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    @property
+    def n_waiters(self) -> int:
+        return len(self._waiters)
+
+    def try_acquire(self, owner: str = "?") -> bool:
+        """Non-blocking acquire; returns True on success."""
+        if self._locked:
+            return False
+        self._locked = True
+        self.owner = owner
+        self.n_acquisitions += 1
+        return True
+
+    def acquire(self, owner: str = "?") -> Generator[Command, Any, None]:
+        """Blocking acquire (generator — use with ``yield from``)."""
+        if not self._locked:
+            self._locked = True
+            self.owner = owner
+            self.n_acquisitions += 1
+            return
+        gate = self.sim.event(f"{self.name}.gate")
+        self._waiters.append(gate)
+        yield gate
+        # Ownership was transferred to us by release().
+        self.owner = owner
+        self.n_acquisitions += 1
+
+    def release(self) -> None:
+        if not self._locked:
+            raise RuntimeError(f"release of unlocked {self.name}")
+        if self._waiters:
+            # Hand off directly: the lock stays logically held, the next
+            # waiter resumes at the current time already owning it.
+            gate = self._waiters.popleft()
+            self.owner = None
+            gate.trigger()
+        else:
+            self._locked = False
+            self.owner = None
+
+
+class Semaphore:
+    """Counting semaphore with FIFO wakeups."""
+
+    __slots__ = ("sim", "name", "_count", "_waiters")
+
+    def __init__(self, sim: Simulator, value: int, name: str = "sem"):
+        if value < 0:
+            raise ValueError("semaphore initial value must be >= 0")
+        self.sim = sim
+        self.name = name
+        self._count = value
+        self._waiters: Deque[SimEvent] = deque()
+
+    @property
+    def value(self) -> int:
+        return self._count
+
+    def acquire(self) -> Generator[Command, Any, None]:
+        if self._count > 0:
+            self._count -= 1
+            return
+        gate = self.sim.event(f"{self.name}.gate")
+        self._waiters.append(gate)
+        yield gate
+
+    def release(self) -> None:
+        if self._waiters:
+            self._waiters.popleft().trigger()
+        else:
+            self._count += 1
+
+
+class Barrier:
+    """Reusable n-party barrier.
+
+    The n-th arrival releases everyone; the barrier then resets for the
+    next phase.  Arrival order is preserved in :attr:`generations` for
+    inspection by tests.
+    """
+
+    __slots__ = ("sim", "name", "parties", "_gate", "_arrived", "generations")
+
+    def __init__(self, sim: Simulator, parties: int, name: str = "barrier"):
+        if parties < 1:
+            raise ValueError("barrier needs >= 1 parties")
+        self.sim = sim
+        self.name = name
+        self.parties = parties
+        self._gate = sim.event(f"{name}.gen0")
+        self._arrived = 0
+        #: completion times of each generation (for tests/metrics)
+        self.generations: List[float] = []
+
+    def wait(self) -> Generator[Command, Any, None]:
+        self._arrived += 1
+        if self._arrived == self.parties:
+            gate = self._gate
+            self.generations.append(self.sim.now)
+            self._arrived = 0
+            self._gate = self.sim.event(f"{self.name}.gen{len(self.generations)}")
+            gate.trigger()
+            return
+        gate = self._gate
+        yield gate
+
+
+class Store:
+    """Unbounded FIFO channel carrying arbitrary items.
+
+    ``put`` never blocks; ``get`` blocks until an item is available.
+    Items are delivered in insertion order, one per getter, FIFO on the
+    getter side too — which is exactly the matching discipline the
+    simulated MPI point-to-point layer needs.
+    """
+
+    __slots__ = ("sim", "name", "_items", "_getters")
+
+    def __init__(self, sim: Simulator, name: str = "store"):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[SimEvent] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().trigger(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Generator[Command, Any, Any]:
+        if self._items:
+            return self._items.popleft()
+        gate = self.sim.event(f"{self.name}.get")
+        self._getters.append(gate)
+        item = yield gate
+        return item
+
+    def peek_all(self) -> List[Any]:
+        """Snapshot of queued items (test helper; does not consume)."""
+        return list(self._items)

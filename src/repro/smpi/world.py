@@ -1,0 +1,189 @@
+"""MPI world and per-rank context.
+
+:class:`MpiWorld` wires a :class:`~repro.sim.engine.Simulator`, a
+:class:`~repro.cluster.machine.ClusterSpec`, and a placement into a set
+of rank processes.  Rank main functions are generators taking a
+:class:`RankCtx`; all MPI operations are generator methods used with
+``yield from`` so their simulated costs accrue to the calling rank.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.cluster.costs import CostModel, DEFAULT_COSTS
+from repro.cluster.interconnect import Interconnect
+from repro.cluster.machine import ClusterSpec
+from repro.cluster.topology import Placement, block_placement
+from repro.sim.engine import Process, Simulator, drain
+from repro.sim.primitives import Command, Overhead
+from repro.sim.resources import Barrier, Store
+from repro.smpi.p2p import Mailbox, Message
+from repro.smpi.rma import Window
+from repro.smpi.shm import SharedWindow
+
+MainFn = Callable[["RankCtx"], Generator[Command, Any, Any]]
+
+
+class MpiWorld:
+    """All global state of one simulated MPI job."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: ClusterSpec,
+        ppn: Optional[int] = None,
+        costs: CostModel = DEFAULT_COSTS,
+    ):
+        self.sim = sim
+        self.cluster = cluster
+        if ppn is None:
+            ppn = min(node.cores for node in cluster.nodes)
+        self.ppn = ppn
+        self.placement: Placement = block_placement(cluster, ppn)
+        self.costs = costs
+        self.interconnect = Interconnect(cluster, costs.mpi)
+        self.size = self.placement.size
+        self._mailboxes: List[Mailbox] = [
+            Mailbox(sim, rank) for rank in range(self.size)
+        ]
+        self._barrier = Barrier(sim, self.size, name="mpi-world-barrier")
+        self.contexts: List[RankCtx] = [
+            RankCtx(self, rank) for rank in range(self.size)
+        ]
+        self._windows: List[Window] = []
+        self._shared_windows: Dict[int, SharedWindow] = {}
+
+    # ------------------------------------------------------------------
+    def launch(self, main: MainFn, name_prefix: str = "rank") -> List[Process]:
+        """Spawn one process per rank running ``main(ctx)``."""
+        processes = []
+        for ctx in self.contexts:
+            process = self.sim.spawn(main(ctx), name=f"{name_prefix}{ctx.rank}")
+            process.meta["rank"] = ctx.rank
+            process.meta["node"] = ctx.node
+            ctx.process = process
+            processes.append(process)
+        return processes
+
+    def run(self, main: MainFn, name_prefix: str = "rank") -> List[Process]:
+        """Launch and run to completion; raises on deadlock."""
+        processes = self.launch(main, name_prefix)
+        drain(self.sim, processes)
+        return processes
+
+    # ------------------------------------------------------------------
+    def create_window(self, host_rank: int, cells: Dict[str, int]) -> Window:
+        """Collectively allocate an RMA window hosted on ``host_rank``."""
+        window = Window(self, host_rank, cells)
+        self._windows.append(window)
+        return window
+
+    def create_shared_window(
+        self, node: int, cells: Dict[str, int]
+    ) -> SharedWindow:
+        """Allocate the node's shared-memory window (``MPI_Win_allocate_shared``)."""
+        if node in self._shared_windows:
+            raise RuntimeError(f"node {node} already has a shared window")
+        window = SharedWindow(self, node, cells)
+        self._shared_windows[node] = window
+        return window
+
+    def shared_window_of(self, node: int) -> SharedWindow:
+        return self._shared_windows[node]
+
+    @property
+    def windows(self) -> List[Window]:
+        return list(self._windows)
+
+    @property
+    def shared_windows(self) -> Dict[int, SharedWindow]:
+        return dict(self._shared_windows)
+
+
+class RankCtx:
+    """Per-rank view of the MPI world (what real code gets from MPI).
+
+    All communication methods are generators; use them with
+    ``yield from`` inside rank main functions.
+    """
+
+    def __init__(self, world: MpiWorld, rank: int):
+        self.world = world
+        self.rank = rank
+        self.node = world.placement.node_of(rank)
+        self.core = world.placement.core_of(rank)
+        self.local_rank = rank - min(world.placement.ranks_on_node(self.node))
+        self.process: Optional[Process] = None
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    @property
+    def sim(self) -> Simulator:
+        return self.world.sim
+
+    @property
+    def node_ranks(self) -> List[int]:
+        """Ranks sharing this rank's node (the shared-memory communicator)."""
+        return self.world.placement.ranks_on_node(self.node)
+
+    @property
+    def is_node_leader(self) -> bool:
+        return self.rank == self.node_ranks[0]
+
+    @property
+    def core_speed(self) -> float:
+        return self.world.cluster.node_of(self.node).core_speed
+
+    def name(self) -> str:
+        return f"rank{self.rank}(n{self.node}.c{self.core})"
+
+    # -- two-sided -------------------------------------------------------
+    def send(self, dest: int, tag: int, payload: Any, nbytes: int = 64):
+        """Blocking standard-mode send (completes when the message is
+        handed to the transport; delivery happens after the modelled
+        transfer time)."""
+        if not 0 <= dest < self.size:
+            raise ValueError(f"send to invalid rank {dest}")
+        transfer = self.world.interconnect.message_time(
+            self.node, self.world.placement.node_of(dest), nbytes
+        )
+        # Sender-side software overhead is paid by the sender now.
+        yield Overhead(self.world.costs.mpi.p2p_overhead)
+        message = Message(source=self.rank, tag=tag, payload=payload, nbytes=nbytes)
+        self.world._mailboxes[dest].deliver_after(transfer, message)
+
+    def recv(self, source: int, tag: int):
+        """Blocking receive matching ``(source, tag)``; returns payload."""
+        message = yield from self.world._mailboxes[self.rank].get(source, tag)
+        # Receiver-side software overhead.
+        yield Overhead(self.world.costs.mpi.p2p_overhead)
+        return message.payload
+
+    def recv_any(self, tag: int):
+        """Blocking receive matching ``(ANY_SOURCE, tag)``; returns (source, payload)."""
+        message = yield from self.world._mailboxes[self.rank].get_any(tag)
+        yield Overhead(self.world.costs.mpi.p2p_overhead)
+        return message.source, message.payload
+
+    # -- collectives -------------------------------------------------------
+    def barrier(self):
+        """``MPI_Barrier`` over the world communicator (log-tree cost)."""
+        import math
+
+        stages = math.ceil(math.log2(self.size)) if self.size > 1 else 0
+        yield Overhead(self.world.costs.mpi.collective_stage * stages)
+        yield from self.world._barrier.wait()
+
+    # -- windows -----------------------------------------------------------
+    def win_allocate(self, host_rank: int, cells: Dict[str, int]) -> Window:
+        """Non-collective convenience wrapper (allocation cost ignored —
+        windows are created once per loop, never on the critical path)."""
+        return self.world.create_window(host_rank, cells)
+
+    def shared_window(self) -> SharedWindow:
+        """This node's shared-memory window (must already exist)."""
+        return self.world.shared_window_of(self.node)

@@ -1,0 +1,128 @@
+"""The Workload abstraction: an iteration space with a cost vector."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from repro.core.technique_base import IterationProfile
+
+
+class Workload:
+    """A parallel loop: ``n`` independent iterations with known costs.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic label (appears in reports).
+    costs:
+        Nominal per-iteration execution times in seconds on a
+        nominal-speed core (1-D float array).
+    meta:
+        Free-form provenance (kernel parameters etc.).
+    executor:
+        Optional callable ``(start, size) -> Any`` that *really*
+        performs the iterations (used by the native backend and the
+        examples; the simulator only needs ``costs``).
+
+    Block costs are O(1) via a prefix-sum table — execution models call
+    :meth:`block_cost` once per sub-chunk, so this matters.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        costs: np.ndarray,
+        meta: Optional[Dict[str, Any]] = None,
+        executor: Optional[Callable[[int, int], Any]] = None,
+    ):
+        costs = np.asarray(costs, dtype=np.float64)
+        if costs.ndim != 1:
+            raise ValueError(f"costs must be 1-D, got shape {costs.shape}")
+        if costs.size and costs.min() < 0:
+            raise ValueError("iteration costs must be non-negative")
+        self.name = name
+        self.costs = costs
+        self.meta = dict(meta or {})
+        self.executor = executor
+        self._prefix = np.concatenate(([0.0], np.cumsum(costs)))
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of loop iterations."""
+        return int(self.costs.size)
+
+    @property
+    def total_cost(self) -> float:
+        """Serial execution time on one nominal core."""
+        return float(self._prefix[-1])
+
+    def cost(self, i: int) -> float:
+        """Nominal cost of iteration ``i``."""
+        return float(self.costs[i])
+
+    def block_cost(self, start: int, size: int) -> float:
+        """Total nominal cost of iterations ``[start, start+size)`` (O(1))."""
+        if size < 0 or start < 0 or start + size > self.n:
+            raise IndexError(
+                f"block [{start}, {start + size}) outside loop of {self.n} iterations"
+            )
+        return float(self._prefix[start + size] - self._prefix[start])
+
+    def profile(self, h: float = 1.0e-6) -> IterationProfile:
+        """The (mu, sigma) prior that FAC/TAP/FSC assume known."""
+        if self.n == 0:
+            raise ValueError("empty workload has no profile")
+        mu = float(self.costs.mean())
+        sigma = float(self.costs.std())
+        return IterationProfile(mu=mu, sigma=sigma, h=h)
+
+    @property
+    def cov(self) -> float:
+        """Coefficient of variation of iteration costs (imbalance proxy)."""
+        mu = self.costs.mean()
+        return float(self.costs.std() / mu) if mu > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    def scaled_to(self, total_seconds: float, name: Optional[str] = None) -> "Workload":
+        """A copy rescaled so the serial time equals ``total_seconds``.
+
+        This is how absolute magnitudes are calibrated to the paper's
+        reported numbers without touching the cost *shape* (see
+        EXPERIMENTS.md).
+        """
+        if self.total_cost <= 0:
+            raise ValueError("cannot scale a zero-cost workload")
+        factor = total_seconds / self.total_cost
+        out = Workload(
+            name=name or f"{self.name}@{total_seconds:g}s",
+            costs=self.costs * factor,
+            meta={**self.meta, "scaled_from": self.name, "scale_factor": factor},
+            executor=self.executor,
+        )
+        return out
+
+    def subset(self, n: int, name: Optional[str] = None) -> "Workload":
+        """First ``n`` iterations (for quick tests)."""
+        if not 0 <= n <= self.n:
+            raise ValueError(f"cannot take {n} of {self.n} iterations")
+        return Workload(
+            name=name or f"{self.name}[:{n}]",
+            costs=self.costs[:n],
+            meta=dict(self.meta),
+            executor=self.executor,
+        )
+
+    def execute(self, start: int, size: int) -> Any:
+        """Really run iterations (native backend); requires an executor."""
+        if self.executor is None:
+            raise NotImplementedError(f"workload {self.name!r} has no real executor")
+        return self.executor(start, size)
+
+    def __repr__(self) -> str:
+        return (
+            f"Workload({self.name!r}, n={self.n}, total={self.total_cost:.4g}s, "
+            f"cov={self.cov:.3f})"
+        )

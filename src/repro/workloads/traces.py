@@ -1,0 +1,64 @@
+"""Persisting workload cost traces.
+
+Traces let expensive cost vectors (full-scale Mandelbrot/PSIA) be
+computed once and reused across benchmark runs, and let users feed
+*measured* per-iteration times from real applications into the
+simulator — the same workflow the authors' later simulation work uses
+(FLOP-count / time traces driving a simulator).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.workloads.base import Workload
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(workload: Workload, path: Union[str, Path]) -> Path:
+    """Save a workload's cost vector + metadata to an ``.npz`` file."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta_json = json.dumps(
+        {"name": workload.name, "meta": _jsonable(workload.meta),
+         "version": _FORMAT_VERSION}
+    )
+    np.savez_compressed(path, costs=workload.costs, meta=np.bytes_(meta_json.encode()))
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> Workload:
+    """Load a workload saved with :func:`save_trace`.
+
+    The executor is not persisted (it is code, not data); the loaded
+    workload is simulation-only.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        costs = np.asarray(data["costs"], dtype=np.float64)
+        header = json.loads(bytes(data["meta"]).decode())
+    if header.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported trace version in {path}")
+    return Workload(name=header["name"], costs=costs, meta=header["meta"])
+
+
+def _jsonable(obj):
+    """Best-effort conversion of metadata to JSON-encodable values."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    return obj

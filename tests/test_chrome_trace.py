@@ -1,0 +1,51 @@
+"""Tests for Chrome trace-event export (repro.core.trace)."""
+
+import json
+
+import pytest
+
+from repro import minihpc, run_hierarchical
+from repro.core.trace import COMPUTE, SYNC, Trace
+from repro.workloads import uniform_workload
+
+
+def test_to_chrome_trace_event_fields():
+    trace = Trace()
+    trace.add("w0", 0.0, 1.0, COMPUTE, label="chunk-0")
+    trace.add("w1", 0.5, 2.0, SYNC)
+    trace.mark(1.5, "loop-end")
+    events = trace.to_chrome_trace()
+    complete = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    assert len(complete) == 2
+    assert len(instants) == 1
+    first = complete[0]
+    assert first["name"] == "chunk-0"
+    assert first["cat"] == COMPUTE
+    assert first["ts"] == 0.0
+    assert first["dur"] == pytest.approx(1e6)  # microseconds
+    assert complete[0]["tid"] != complete[1]["tid"]
+    assert instants[0]["name"] == "loop-end"
+
+
+def test_save_chrome_trace_is_valid_json(tmp_path):
+    trace = Trace()
+    trace.add("w", 0.0, 0.5, COMPUTE)
+    path = tmp_path / "trace.json"
+    trace.save_chrome_trace(path)
+    events = json.loads(path.read_text())
+    assert isinstance(events, list) and events
+
+
+def test_real_run_exports_chrome_trace(tmp_path):
+    wl = uniform_workload(200, seed=1)
+    result = run_hierarchical(
+        wl, minihpc(2, 4), "GSS", "STATIC", approach="mpi+openmp",
+        ppn=4, seed=0, collect_trace=True,
+    )
+    events = result.trace.to_chrome_trace()
+    cats = {e.get("cat") for e in events if e["ph"] == "X"}
+    assert COMPUTE in cats
+    assert SYNC in cats  # the implicit barrier shows up
+    result.trace.save_chrome_trace(tmp_path / "run.json")
+    assert (tmp_path / "run.json").stat().st_size > 100

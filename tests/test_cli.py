@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+def test_techniques_command(capsys):
+    code, out = run_cli(capsys, "techniques")
+    assert code == 0
+    for name in ("STATIC", "SS", "GSS", "TSS", "FAC2", "AWF-B", "AF"):
+        assert name in out
+
+
+def test_table1_command(capsys):
+    code, out = run_cli(capsys, "table1")
+    assert code == 0
+    assert "schedule(guided,1)" in out
+
+
+def test_table1_paper_only(capsys):
+    code, out = run_cli(capsys, "table1", "--paper-only")
+    assert code == 0
+    assert "LaPeSD" not in out
+
+
+def test_run_command(capsys):
+    code, out = run_cli(
+        capsys, "run", "--app", "mandelbrot", "--nodes", "2",
+        "--ppn", "4", "--scale", "tiny",
+    )
+    assert code == 0
+    assert "mpi+mpi" in out
+    assert "T_par" in out
+
+
+def test_run_command_gantt(capsys):
+    code, out = run_cli(
+        capsys, "run", "--nodes", "1", "--ppn", "4", "--scale", "tiny",
+        "--gantt",
+    )
+    assert code == 0
+    assert "legend" in out
+
+
+def test_figure_command_single(capsys):
+    code, out = run_cli(
+        capsys, "figure", "--id", "fig5a", "--scale", "tiny",
+        "--nodes", "2,4",
+    )
+    assert code == 0
+    assert "Figure 5a" in out
+    assert "shape checks" in out
+
+
+def test_sync_command(capsys):
+    code, out = run_cli(capsys, "sync", "--scale", "tiny")
+    assert code == 0
+    assert "Figure 2" in out and "Figure 3" in out
+
+
+def test_ablation_command(capsys):
+    code, out = run_cli(
+        capsys, "ablation", "--id", "nowait", "--scale", "tiny",
+    )
+    assert code == 0
+    assert "A-3" in out
+
+
+def test_unknown_ablation(capsys):
+    code, out = run_cli(capsys, "ablation", "--id", "nope", "--scale", "tiny")
+    assert code == 2
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_unknown_figure_id_errors(capsys):
+    with pytest.raises(KeyError):
+        main(["figure", "--id", "fig99x", "--scale", "tiny"])

@@ -1,0 +1,32 @@
+"""Smoke-run every example script so they cannot rot.
+
+Each example is executed in-process (import as __main__ would be slow
+to isolate; we exec the file with a fresh namespace) and must complete
+without raising.  Output volume is irrelevant here — correctness of the
+public-API usage is what's guarded.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    names = {p.name for p in SCRIPTS}
+    assert "quickstart.py" in names
+    assert len(SCRIPTS) >= 9
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.stem)
+def test_example_runs(script, capsys, monkeypatch):
+    # keep the heavier studies small where they honour REPRO_SCALE
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+    code = compile(script.read_text(), str(script), "exec")
+    namespace = {"__name__": "__main__", "__file__": str(script)}
+    exec(code, namespace)  # noqa: S102 - deliberate: run the example
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"

@@ -1,0 +1,136 @@
+"""Tests for the GlobalQueue dispensing protocols (models.base).
+
+Three protocols implement the distributed chunk-calculation approach:
+
+* deterministic techniques — one fetch&op on the step counter, size and
+  start derived locally;
+* adaptive / PE-dependent techniques — step fetch&op + scheduled-count
+  fetch&add (interleavings hand out relabelled but disjoint ranges);
+* pinned STATIC — PE k owns chunk k, no window traffic.
+"""
+
+import pytest
+
+from repro.cluster.machine import homogeneous
+from repro.core.chunking import Chunk, verify_schedule
+from repro.core.techniques import get_technique
+from repro.models.base import GlobalQueue
+from repro.sim import Compute, Simulator
+from repro.smpi import MpiWorld
+
+
+def make_world(n_nodes=2, cores=4, ppn=4, seed=0):
+    return MpiWorld(Simulator(seed=seed), homogeneous(n_nodes, cores), ppn=ppn)
+
+
+def drain_queue(world, queue, pe_of=lambda ctx: ctx.node):
+    """All ranks fetch chunks until exhaustion; returns the chunk list."""
+    chunks = []
+
+    def main(ctx):
+        while True:
+            step, start, size = yield from queue.next_chunk(ctx, pe=pe_of(ctx))
+            if size <= 0:
+                return
+            chunks.append(Chunk(step=max(step, 0), start=start, size=size,
+                                pe=ctx.rank))
+            yield Compute(1e-5)
+
+    world.run(main)
+    return chunks
+
+
+def test_deterministic_protocol_tiles_iteration_space():
+    world = make_world()
+    calc = get_technique("GSS").make(1000, 2)
+    queue = GlobalQueue(world, calc, 1000)
+    chunks = drain_queue(world, queue)
+    verify_schedule(chunks, 1000)
+    # one atomic per grab attempt (grabs + one exhausted probe per rank)
+    assert queue.window.n_atomics >= len(chunks)
+
+
+def test_deterministic_steps_are_unique():
+    world = make_world()
+    calc = get_technique("FAC2").make(512, 2)
+    queue = GlobalQueue(world, calc, 512)
+    chunks = drain_queue(world, queue)
+    steps = [c.step for c in chunks]
+    assert len(steps) == len(set(steps))
+
+
+def test_adaptive_protocol_tiles_despite_interleaving():
+    world = make_world(n_nodes=4, cores=4, ppn=4)
+    calc = get_technique("AWF-B").make(2000, 4)
+    queue = GlobalQueue(world, calc, 2000)
+    chunks = drain_queue(world, queue)
+    verify_schedule(chunks, 2000)
+    # scheduled-count protocol uses two atomics per successful grab
+    assert queue.window.peek("scheduled") == 2000
+
+
+def test_wf_protocol_with_weights():
+    world = make_world(n_nodes=2, cores=4, ppn=4)
+    calc = get_technique("WF").make(1000, 2, weights=[3.0, 1.0])
+    queue = GlobalQueue(world, calc, 1000)
+    chunks = drain_queue(world, queue)
+    verify_schedule(chunks, 1000)
+    # node 0 (weight 3) must take clearly more than node 1
+    node0 = sum(c.size for c in chunks if c.pe < 4)
+    assert node0 > 550
+
+
+def test_pinned_static_no_window_traffic():
+    world = make_world(n_nodes=2, cores=4, ppn=4)
+    calc = get_technique("STATIC").make(1000, 2)
+    queue = GlobalQueue(world, calc, 1000, pinned=True)
+    chunks = drain_queue(world, queue)
+    verify_schedule(chunks, 1000)
+    assert len(chunks) == 2  # one chunk per node, one scheduling round
+    assert queue.window.n_atomics == 0  # never touched the window
+
+
+def test_pinned_static_second_request_returns_empty():
+    world = make_world(n_nodes=1, cores=4, ppn=4)
+    calc = get_technique("STATIC").make(100, 1)
+    queue = GlobalQueue(world, calc, 100)
+    queue.pinned = True
+    sizes = []
+
+    def main(ctx):
+        if ctx.rank == 0:
+            for _ in range(3):
+                _, _, size = yield from queue.next_chunk(ctx, pe=0)
+                sizes.append(size)
+        else:
+            yield Compute(0.0)
+
+    world.run(main)
+    assert sizes == [100, 0, 0]
+
+
+def test_exhausted_queue_keeps_returning_zero():
+    world = make_world(n_nodes=1, cores=2, ppn=2)
+    calc = get_technique("SS").make(3, 2)
+    queue = GlobalQueue(world, calc, 3)
+    results = []
+
+    def main(ctx):
+        for _ in range(4):
+            _, _, size = yield from queue.next_chunk(ctx, pe=0)
+            results.append(size)
+
+    world.run(main)
+    assert sorted(results, reverse=True) == [1, 1, 1, 0, 0, 0, 0, 0]
+
+
+def test_remote_node_pays_more_for_chunks():
+    """The queue host's node gets cheaper atomics — visible in worker
+    overhead accounting."""
+    world = make_world(n_nodes=2, cores=2, ppn=2)
+    calc = get_technique("SS").make(400, 4)
+    queue = GlobalQueue(world, calc, 400)
+    drain_queue(world, queue, pe_of=lambda ctx: ctx.rank)
+    local = world.contexts[0].process.overhead_time
+    remote = world.contexts[2].process.overhead_time
+    assert remote > local

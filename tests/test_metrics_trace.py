@@ -1,0 +1,165 @@
+"""Tests for metrics (repro.core.metrics) and traces (repro.core.trace)."""
+
+import pytest
+
+from repro.core.metrics import (
+    LoadMetrics,
+    WorkerStats,
+    compute_metrics,
+    parallel_efficiency,
+    speedup_series,
+)
+from repro.core.trace import COMPUTE, IDLE, OBTAIN, SYNC, Interval, Trace
+
+
+def make_worker(name="w0", node=0, finish=10.0, compute=8.0, overhead=1.0,
+                idle=1.0, chunks=4, iterations=100):
+    return WorkerStats(
+        name=name, node=node, finish_time=finish, compute_time=compute,
+        overhead_time=overhead, idle_time=idle, n_chunks=chunks,
+        n_iterations=iterations,
+    )
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+
+def test_empty_metrics_are_zero():
+    m = compute_metrics([])
+    assert m.parallel_time == 0.0
+    assert m.cov_finish == 0.0
+    assert m.total_chunks == 0
+
+
+def test_single_worker_metrics():
+    m = compute_metrics([make_worker()])
+    assert m.parallel_time == 10.0
+    assert m.cov_finish == 0.0
+    assert m.imbalance == 1.0
+    assert m.total_chunks == 4
+
+
+def test_parallel_time_is_max_finish():
+    workers = [make_worker(finish=5.0), make_worker(name="w1", finish=12.0)]
+    assert compute_metrics(workers).parallel_time == 12.0
+
+
+def test_imbalance_is_max_over_mean_compute():
+    workers = [
+        make_worker(compute=10.0),
+        make_worker(name="w1", compute=2.0),
+        make_worker(name="w2", compute=6.0),
+    ]
+    m = compute_metrics(workers)
+    assert m.imbalance == pytest.approx(10.0 / 6.0)
+
+
+def test_perfectly_balanced_execution():
+    workers = [make_worker(name=f"w{i}") for i in range(8)]
+    m = compute_metrics(workers)
+    assert m.cov_finish == 0.0
+    assert m.imbalance == 1.0
+
+
+def test_fractions():
+    workers = [make_worker(finish=10.0, compute=7.0, overhead=2.0, idle=1.0)]
+    m = compute_metrics(workers)
+    assert m.idle_fraction == pytest.approx(0.1)
+    assert m.overhead_fraction == pytest.approx(0.2)
+
+
+def test_summary_renders():
+    text = compute_metrics([make_worker()]).summary()
+    assert "T_par" in text and "cov" in text and "chunks" in text
+
+
+def test_speedup_series_and_efficiency():
+    times = {2: 10.0, 4: 5.0, 8: 3.0}
+    speedups = speedup_series(times)
+    assert speedups[2] == 1.0
+    assert speedups[4] == 2.0
+    eff = parallel_efficiency(times)
+    assert eff[2] == pytest.approx(1.0)
+    assert eff[4] == pytest.approx(1.0)   # perfect halving
+    assert eff[8] == pytest.approx(10.0 / 3.0 * 2 / 8)
+
+
+def test_speedup_series_empty():
+    assert speedup_series({}) == {}
+    assert parallel_efficiency({}) == {}
+
+
+# ---------------------------------------------------------------------------
+# traces
+# ---------------------------------------------------------------------------
+
+
+def test_interval_validation():
+    with pytest.raises(ValueError):
+        Interval("w", 2.0, 1.0, COMPUTE)
+
+
+def test_trace_totals_per_kind_and_worker():
+    trace = Trace()
+    trace.add("a", 0.0, 2.0, COMPUTE)
+    trace.add("a", 2.0, 3.0, SYNC)
+    trace.add("b", 0.0, 1.5, COMPUTE)
+    assert trace.total(COMPUTE) == pytest.approx(3.5)
+    assert trace.total(COMPUTE, "a") == pytest.approx(2.0)
+    assert trace.total(SYNC, "b") == 0.0
+    assert trace.sync_time_per_worker() == {"a": pytest.approx(1.0), "b": 0.0}
+
+
+def test_trace_zero_length_intervals_dropped():
+    trace = Trace()
+    trace.add("a", 1.0, 1.0, COMPUTE)
+    assert trace.intervals == []
+
+
+def test_trace_span_and_workers():
+    trace = Trace()
+    trace.add("x", 1.0, 2.0, COMPUTE)
+    trace.add("y", 0.5, 3.0, OBTAIN)
+    assert trace.span() == (0.5, 3.0)
+    assert trace.workers() == ["x", "y"]
+
+
+def test_empty_trace_renders():
+    assert Trace().render_gantt() == "(empty trace)"
+
+
+def test_gantt_glyphs_reflect_dominant_activity():
+    trace = Trace()
+    trace.add("w", 0.0, 8.0, COMPUTE)
+    trace.add("w", 8.0, 10.0, SYNC)
+    chart = trace.render_gantt(width=10, legend=False)
+    row = chart.splitlines()[1]
+    cells = row.split("|")[1]
+    assert cells.count("#") == 8
+    assert cells.count("=") == 2
+
+
+def test_gantt_multiple_workers_aligned():
+    trace = Trace()
+    trace.add("w0", 0.0, 4.0, COMPUTE)
+    trace.add("longname", 0.0, 2.0, IDLE)
+    chart = trace.render_gantt(width=20)
+    lines = chart.splitlines()
+    rows = [l for l in lines if "|" in l]
+    assert len(rows) == 2
+    # aligned pipes
+    assert rows[0].index("|") == rows[1].index("|")
+
+
+def test_gantt_legend_present_by_default():
+    trace = Trace()
+    trace.add("w", 0.0, 1.0, COMPUTE)
+    assert "legend" in trace.render_gantt()
+
+
+def test_trace_marks():
+    trace = Trace()
+    trace.mark(1.0, "loop-start")
+    assert trace.marks == [(1.0, "loop-start")]

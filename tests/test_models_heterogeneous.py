@@ -1,0 +1,108 @@
+"""Heterogeneity & adaptivity: WF/AWF/AF on non-uniform clusters.
+
+The weighted/adaptive techniques exist for heterogeneous systems
+(paper Sec. 2 cites WF/AWF for exactly this).  These tests pin down the
+classic behaviours: GSS's giant-first-chunk pathology on slow PEs,
+factoring's robustness, weighting reaching the speed-proportional work
+split, and runtime adaptation recovering it without ground truth.
+"""
+
+import pytest
+
+from repro import run_hierarchical
+from repro.cluster.machine import heterogeneous
+from repro.cluster.noise import NO_NOISE
+from repro.core.hierarchy import HierarchicalSpec, LevelSpec
+from repro.models import FlatMpiModel
+from repro.workloads import constant_workload
+
+#: node 1's cores are 3x faster than node 0's
+CLUSTER = heterogeneous([8, 8], core_speeds=[1.0, 3.0])
+#: total relative speed = 8*1 + 8*3 = 32 core-equivalents
+IDEAL_SPEED = 32.0
+
+
+def run_flat(workload, technique, weights=None, seed=0):
+    spec = HierarchicalSpec(
+        inter=LevelSpec.of(technique, weights=weights),
+        intra=LevelSpec.of("SS"),
+    )
+    return FlatMpiModel().run(
+        workload=workload, cluster=CLUSTER, spec=spec, ppn=8, seed=seed,
+        noise=NO_NOISE,
+    )
+
+
+def node_share(result, node):
+    total = sum(w.n_iterations for w in result.metrics.workers)
+    mine = sum(w.n_iterations for w in result.metrics.workers if w.node == node)
+    return mine / total
+
+
+def test_gss_giant_first_chunk_pathology():
+    """GSS hands out ceil(N/P) first; when a slow PE draws it, that one
+    chunk becomes the critical path — the known GSS weakness on
+    heterogeneous systems that motivated weighted factoring."""
+    wl = constant_workload(4096, cost=1e-3)
+    result = run_flat(wl, "GSS")
+    ideal = wl.total_cost / IDEAL_SPEED
+    first_chunk_on_slow = (4096 / 16) * 1e-3 / 1.0
+    assert result.parallel_time >= first_chunk_on_slow * 0.99
+    assert result.parallel_time > 1.5 * ideal
+    assert result.metrics.cov_finish > 0.2  # badly unbalanced finishes
+
+
+def test_fac2_near_ideal_on_heterogeneous():
+    """Factoring's halving batches leave enough tail work for the fast
+    PEs to absorb the imbalance — near-ideal without any weights."""
+    wl = constant_workload(4096, cost=1e-3)
+    result = run_flat(wl, "FAC2")
+    ideal = wl.total_cost / IDEAL_SPEED
+    assert result.parallel_time < 1.05 * ideal
+    # work split approaches the speed ratio 24:8
+    assert node_share(result, 1) == pytest.approx(0.75, abs=0.07)
+
+
+def test_wf_matches_or_beats_fac2():
+    wl = constant_workload(4096, cost=1e-3)
+    weights = [1.0] * 8 + [3.0] * 8  # ground-truth speeds
+    wf = run_flat(wl, "WF", weights=weights)
+    fac2 = run_flat(wl, "FAC2")
+    assert wf.parallel_time <= fac2.parallel_time * 1.01
+    assert node_share(wf, 1) > 0.65
+
+
+def test_awf_b_learns_speeds_without_being_told():
+    wl = constant_workload(8192, cost=1e-3)
+    awf = run_flat(wl, "AWF-B")
+    fac2 = run_flat(wl, "FAC2")
+    assert awf.parallel_time <= fac2.parallel_time * 1.05
+    assert node_share(awf, 1) > 0.6
+
+
+def test_af_adapts_per_pe_rates():
+    wl = constant_workload(8192, cost=1e-3)
+    af = run_flat(wl, "AF")
+    assert node_share(af, 1) > 0.6
+
+
+def test_awf_c_adapts_at_least_as_fast_as_awf_b():
+    """Variant C refreshes weights per chunk, B per batch."""
+    wl = constant_workload(2048, cost=1e-3)
+    c = run_flat(wl, "AWF-C")
+    b = run_flat(wl, "AWF-B")
+    assert node_share(c, 1) >= node_share(b, 1) - 0.05
+
+
+def test_mpi_mpi_hierarchical_on_heterogeneous_nodes():
+    """FAC2 over node groups + FAC2 inside reaches a near-speed-
+    proportional split without worker migration (contrast with the
+    processor-group migration scheme of [12], paper Sec. 2)."""
+    wl = constant_workload(4096, cost=1e-3)
+    result = run_hierarchical(
+        wl, CLUSTER, inter="FAC2", intra="FAC2", approach="mpi+mpi",
+        ppn=8, seed=0, noise=NO_NOISE,
+    )
+    ideal = wl.total_cost / IDEAL_SPEED
+    assert result.parallel_time < 1.25 * ideal
+    assert node_share(result, 1) > 0.6

@@ -1,0 +1,92 @@
+"""Tests for the native threads backend (real kernel execution)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import HierarchicalSpec
+from repro.native import NativeRunner
+from repro.workloads import Workload, mandelbrot_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return mandelbrot_workload(width=48, height=48, max_iter=64)
+
+
+@pytest.fixture(scope="module")
+def serial(workload):
+    return workload.execute(0, workload.n)
+
+
+def assemble(result, workload, dtype):
+    out = np.empty(workload.n, dtype=dtype)
+    for chunk in result.chunks:
+        out[chunk.start : chunk.end] = result.outputs[chunk.start]
+    return out
+
+
+@pytest.mark.parametrize("technique", ["STATIC", "SS", "GSS", "TSS", "FAC2"])
+def test_flat_execution_matches_serial(workload, serial, technique):
+    runner = NativeRunner(workload, n_workers=4, collect_outputs=True)
+    result = runner.run_flat(technique)
+    result.verify(workload.n)
+    assert np.array_equal(assemble(result, workload, serial.dtype), serial)
+    assert result.total_iterations == workload.n
+
+
+@pytest.mark.parametrize("inter,intra", [("GSS", "FAC2"), ("FAC2", "SS"),
+                                         ("TSS", "STATIC")])
+def test_hierarchical_execution_matches_serial(workload, serial, inter, intra):
+    runner = NativeRunner(workload, n_workers=8, collect_outputs=True)
+    result = runner.run_hierarchical(HierarchicalSpec.of(inter, intra), n_groups=2)
+    result.verify(workload.n)
+    assert np.array_equal(assemble(result, workload, serial.dtype), serial)
+
+
+def test_hierarchical_group_divisibility(workload):
+    runner = NativeRunner(workload, n_workers=6)
+    with pytest.raises(ValueError, match="equal groups"):
+        runner.run_hierarchical(HierarchicalSpec.of("GSS", "GSS"), n_groups=4)
+
+
+def test_single_worker(workload, serial):
+    runner = NativeRunner(workload, n_workers=1, collect_outputs=True)
+    result = runner.run_flat("GSS")
+    assert result.total_iterations == workload.n
+    assert np.array_equal(assemble(result, workload, serial.dtype), serial)
+
+
+def test_worker_accounting(workload):
+    runner = NativeRunner(workload, n_workers=4)
+    result = runner.run_flat("FAC2")
+    assert sum(result.per_worker_iterations.values()) == workload.n
+    assert all(b >= 0 for b in result.per_worker_busy.values())
+    assert result.wall_seconds > 0
+    assert result.mode == "flat"
+
+
+def test_requires_executor():
+    bare = Workload("bare", np.ones(16))
+    with pytest.raises(ValueError, match="no real executor"):
+        NativeRunner(bare, n_workers=2)
+
+
+def test_invalid_worker_count(workload):
+    with pytest.raises(ValueError):
+        NativeRunner(workload, n_workers=0)
+
+
+def test_worker_exception_propagates():
+    def bad_executor(start, size):
+        raise RuntimeError("kernel exploded")
+
+    wl = Workload("bad", np.ones(8), executor=bad_executor)
+    runner = NativeRunner(wl, n_workers=2)
+    with pytest.raises(RuntimeError, match="kernel exploded"):
+        runner.run_flat("SS")
+
+
+def test_outputs_not_collected_by_default(workload):
+    runner = NativeRunner(workload, n_workers=2)
+    result = runner.run_flat("GSS")
+    assert result.outputs is None

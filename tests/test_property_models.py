@@ -1,0 +1,162 @@
+"""Property-based tests for the execution models and the simulator.
+
+Randomised cluster shapes, workload distributions, technique pairs and
+seeds — the models must always (a) terminate, (b) execute every
+iteration exactly once, and (c) be bit-deterministic given the seed.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import run_hierarchical
+from repro.cluster.machine import homogeneous
+from repro.core.chunking import verify_schedule
+from repro.sim import Compute, Simulator
+from repro.sim.resources import Barrier, Lock
+from repro.workloads import Workload
+
+INTERS = ["STATIC", "SS", "GSS", "TSS", "FAC2", "mFSC", "TFSS"]
+INTRAS = ["STATIC", "SS", "GSS", "TSS", "FAC2"]
+
+workloads = st.builds(
+    lambda costs: Workload("prop", np.asarray(costs)),
+    st.lists(
+        st.floats(min_value=1e-6, max_value=5e-3, allow_nan=False),
+        min_size=1,
+        max_size=400,
+    ),
+)
+
+
+@given(
+    wl=workloads,
+    inter=st.sampled_from(INTERS),
+    intra=st.sampled_from(INTRAS),
+    nodes=st.integers(min_value=1, max_value=4),
+    ppn=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=60, deadline=None)
+def test_mpi_mpi_always_covers(wl, inter, intra, nodes, ppn, seed):
+    result = run_hierarchical(
+        wl, homogeneous(nodes, 8), inter=inter, intra=intra,
+        approach="mpi+mpi", ppn=ppn, seed=seed,
+    )
+    verify_schedule(result.subchunks, wl.n)
+    assert result.parallel_time >= 0
+
+
+@given(
+    wl=workloads,
+    inter=st.sampled_from(INTERS),
+    intra=st.sampled_from(["STATIC", "SS", "GSS"]),
+    nodes=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=40, deadline=None)
+def test_mpi_openmp_always_covers(wl, inter, intra, nodes, seed):
+    result = run_hierarchical(
+        wl, homogeneous(nodes, 4), inter=inter, intra=intra,
+        approach="mpi+openmp", ppn=4, seed=seed,
+    )
+    verify_schedule(result.subchunks, wl.n)
+
+
+@given(
+    wl=workloads,
+    inter=st.sampled_from(INTERS),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=40, deadline=None)
+def test_flat_and_master_worker_always_cover(wl, inter, seed):
+    for approach in ("flat-mpi", "master-worker"):
+        result = run_hierarchical(
+            wl, homogeneous(2, 4), inter=inter, intra="SS",
+            approach=approach, ppn=4, seed=seed,
+        )
+        verify_schedule(result.subchunks, wl.n)
+
+
+@given(
+    wl=workloads,
+    seed=st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=30, deadline=None)
+def test_runs_bit_deterministic(wl, seed):
+    a = run_hierarchical(wl, homogeneous(2, 4), "GSS", "FAC2",
+                         approach="mpi+mpi", ppn=4, seed=seed)
+    b = run_hierarchical(wl, homogeneous(2, 4), "GSS", "FAC2",
+                         approach="mpi+mpi", ppn=4, seed=seed)
+    assert a.parallel_time == b.parallel_time
+    assert a.n_events == b.n_events
+    assert [c.start for c in a.subchunks] == [c.start for c in b.subchunks]
+
+
+# ---------------------------------------------------------------------------
+# simulator-level properties
+# ---------------------------------------------------------------------------
+
+
+@given(
+    durations=st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_engine_time_is_max_of_process_spans(durations):
+    sim = Simulator()
+
+    def proc(d):
+        yield Compute(d)
+
+    for d in durations:
+        sim.spawn(proc(d))
+    assert sim.run() == max(durations)
+
+
+@given(
+    n_procs=st.integers(min_value=1, max_value=20),
+    n_rounds=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=60, deadline=None)
+def test_lock_serialises_exactly(n_procs, n_rounds):
+    """With a 1-unit critical section per acquisition, total elapsed
+    time is exactly n_procs * n_rounds (perfect serialisation)."""
+    sim = Simulator()
+    lock = Lock(sim)
+
+    def proc():
+        for _ in range(n_rounds):
+            yield from lock.acquire()
+            yield Compute(1.0)
+            lock.release()
+
+    for _ in range(n_procs):
+        sim.spawn(proc())
+    assert sim.run() == n_procs * n_rounds
+    assert lock.n_acquisitions == n_procs * n_rounds
+
+
+@given(
+    parties=st.integers(min_value=1, max_value=16),
+    rounds=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_barrier_generations_count(parties, rounds):
+    sim = Simulator()
+    bar = Barrier(sim, parties)
+
+    def proc(speed):
+        for _ in range(rounds):
+            yield Compute(speed)
+            yield from bar.wait()
+
+    for i in range(parties):
+        sim.spawn(proc(0.5 + i * 0.1))
+    sim.run()
+    assert len(bar.generations) == rounds
+    # generations are strictly increasing in time
+    assert all(a < b for a, b in zip(bar.generations, bar.generations[1:]))

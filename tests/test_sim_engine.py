@@ -1,0 +1,306 @@
+"""Unit tests for the discrete-event engine (repro.sim.engine)."""
+
+import pytest
+
+from repro.sim import (
+    Compute,
+    Overhead,
+    ProcessFailure,
+    SimEvent,
+    Simulator,
+    Timeout,
+)
+from repro.sim.engine import drain
+from repro.sim.primitives import Delay, Halt, Spawn
+
+
+def test_empty_simulator_runs_to_zero():
+    sim = Simulator()
+    assert sim.run() == 0.0
+    assert sim.now == 0.0
+
+
+def test_single_process_advances_time():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield Compute(1.5)
+        log.append(sim.now)
+        yield Compute(2.5)
+        log.append(sim.now)
+
+    sim.spawn(proc(), name="p")
+    end = sim.run()
+    assert log == [1.5, 4.0]
+    assert end == 4.0
+
+
+def test_spawn_requires_generator():
+    sim = Simulator()
+
+    def not_a_gen():
+        return 42
+
+    with pytest.raises(TypeError, match="generator"):
+        sim.spawn(not_a_gen)  # type: ignore[arg-type]
+
+
+def test_zero_delay_resumes_inline_without_event():
+    sim = Simulator()
+
+    def proc():
+        for _ in range(100):
+            yield Compute(0.0)
+
+    sim.spawn(proc())
+    sim.run()
+    # only the initial resume should hit the heap
+    assert sim.n_events_processed == 1
+
+
+def test_two_processes_interleave_deterministically():
+    sim = Simulator()
+    order = []
+
+    def proc(name, dt):
+        for i in range(3):
+            yield Compute(dt)
+            order.append((name, sim.now))
+
+    sim.spawn(proc("a", 1.0))
+    sim.spawn(proc("b", 1.5))
+    sim.run()
+    # at the t=3.0 tie, b's resume was scheduled (at t=1.5) before a's
+    # (at t=2.0), so FIFO sequence numbers put b first
+    assert order == [
+        ("a", 1.0),
+        ("b", 1.5),
+        ("a", 2.0),
+        ("b", 3.0),
+        ("a", 3.0),
+        ("b", 4.5),
+    ]
+
+
+def test_fifo_tiebreak_preserves_spawn_order():
+    sim = Simulator()
+    order = []
+
+    def proc(name):
+        yield Compute(1.0)
+        order.append(name)
+
+    for name in ("x", "y", "z"):
+        sim.spawn(proc(name))
+    sim.run()
+    assert order == ["x", "y", "z"]
+
+
+def test_event_wait_and_trigger():
+    sim = Simulator()
+    gate = sim.event("gate")
+    seen = []
+
+    def waiter():
+        value = yield gate
+        seen.append((sim.now, value))
+
+    def firer():
+        yield Compute(3.0)
+        gate.trigger("payload")
+
+    sim.spawn(waiter())
+    sim.spawn(firer())
+    sim.run()
+    assert seen == [(3.0, "payload")]
+
+
+def test_triggered_event_resumes_immediately():
+    sim = Simulator()
+    gate = sim.event()
+    gate.trigger("early")
+    got = []
+
+    def waiter():
+        value = yield gate
+        got.append(value)
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == ["early"]
+
+
+def test_double_trigger_raises():
+    sim = Simulator()
+    gate = sim.event()
+    gate.trigger()
+    with pytest.raises(RuntimeError, match="already triggered"):
+        gate.trigger()
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError, match="negative delay"):
+        Delay(-1.0)
+
+
+def test_process_time_accounting():
+    sim = Simulator()
+
+    def proc():
+        yield Compute(2.0)
+        yield Overhead(0.5)
+        yield Timeout(0.25)
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert p.compute_time == pytest.approx(2.0)
+    assert p.overhead_time == pytest.approx(0.5)
+    assert p.idle_time == pytest.approx(0.25)
+    assert p.end_time == pytest.approx(2.75)
+
+
+def test_implicit_wait_time_accounting():
+    sim = Simulator()
+    gate = sim.event()
+
+    def waiter():
+        yield Compute(1.0)
+        yield gate
+
+    def firer():
+        yield Compute(5.0)
+        gate.trigger()
+
+    w = sim.spawn(waiter())
+    sim.spawn(firer())
+    sim.run()
+    # waited from t=1 to t=5
+    assert w.wait_time == pytest.approx(4.0)
+
+
+def test_done_event_carries_return_value():
+    sim = Simulator()
+    results = []
+
+    def child():
+        yield Compute(1.0)
+        return "answer"
+
+    def parent():
+        proc = yield Spawn(lambda: child(), name="child")
+        value = yield proc.done
+        results.append(value)
+
+    sim.spawn(parent())
+    sim.run()
+    assert results == ["answer"]
+
+
+def test_process_exception_wrapped_with_name():
+    sim = Simulator()
+
+    def bad():
+        yield Compute(1.0)
+        raise ValueError("boom")
+
+    sim.spawn(bad(), name="badproc")
+    with pytest.raises(ProcessFailure, match="badproc"):
+        sim.run()
+
+
+def test_unknown_command_rejected():
+    sim = Simulator()
+
+    def weird():
+        yield 42  # type: ignore[misc]
+
+    sim.spawn(weird(), name="weird")
+    with pytest.raises(TypeError, match="unsupported command"):
+        sim.run()
+
+
+def test_run_until_pauses_and_resumes():
+    sim = Simulator()
+
+    def proc():
+        yield Compute(10.0)
+
+    p = sim.spawn(proc())
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+    assert p.alive
+    sim.run()
+    assert not p.alive
+    assert sim.now == 10.0
+
+
+def test_halt_stops_simulation():
+    sim = Simulator()
+
+    def stopper():
+        yield Compute(1.0)
+        yield Halt("test stop")
+
+    def runner():
+        yield Compute(100.0)
+
+    sim.spawn(stopper())
+    sim.spawn(runner())
+    sim.run()
+    assert sim.halted_reason == "test stop"
+    assert sim.now == 1.0
+
+
+def test_rng_streams_are_deterministic_and_independent():
+    sim_a = Simulator(seed=7)
+    sim_b = Simulator(seed=7)
+    # same seed, same stream -> same numbers, regardless of creation order
+    _ = sim_b.rng("other")
+    assert sim_a.rng("s").random() == sim_b.rng("s").random()
+    # different streams -> different numbers
+    assert sim_a.rng("s2").random() != sim_a.rng("s").random()
+    # different seeds -> different numbers
+    assert Simulator(seed=8).rng("s").random() != Simulator(seed=7).rng("s").random()
+
+
+def test_drain_detects_deadlock():
+    sim = Simulator()
+    gate = sim.event()
+
+    def stuck():
+        yield gate
+
+    p = sim.spawn(stuck(), name="stuck")
+    with pytest.raises(RuntimeError, match="deadlock"):
+        drain(sim, [p])
+
+
+def test_trace_callback_receives_emits():
+    records = []
+    sim = Simulator(trace=lambda t, p, label, payload: records.append((t, p, label)))
+
+    def proc():
+        yield Compute(1.0)
+        sim.emit("proc", "did-something")
+
+    sim.spawn(proc())
+    sim.run()
+    assert records == [(1.0, "proc", "did-something")]
+
+
+def test_yield_from_subroutines_bubble_commands():
+    sim = Simulator()
+    log = []
+
+    def helper():
+        yield Compute(2.0)
+        return "sub"
+
+    def proc():
+        value = yield from helper()
+        log.append((sim.now, value))
+
+    sim.spawn(proc())
+    sim.run()
+    assert log == [(2.0, "sub")]

@@ -1,0 +1,185 @@
+"""Tests for RMA windows (global work queue substrate)."""
+
+import pytest
+
+from repro.cluster.machine import homogeneous
+from repro.sim import Compute, Simulator
+from repro.smpi import MpiWorld
+
+
+def make_world(n_nodes=2, cores=4, ppn=4, seed=0):
+    return MpiWorld(Simulator(seed=seed), homogeneous(n_nodes, cores), ppn=ppn)
+
+
+def test_fetch_and_op_returns_old_value_and_updates():
+    world = make_world()
+    win = world.create_window(0, {"step": 0})
+    got = []
+
+    def main(ctx):
+        if ctx.rank == 0:
+            old = yield from win.fetch_and_op(ctx, "step", 1)
+            got.append(old)
+            old = yield from win.fetch_and_op(ctx, "step", 1)
+            got.append(old)
+        else:
+            yield Compute(0.0)
+
+    world.run(main)
+    assert got == [0, 1]
+    assert win.peek("step") == 2
+
+
+def test_concurrent_fetch_and_op_values_are_unique():
+    """The fundamental property the distributed chunk calculation
+    relies on: concurrent atomic increments hand out distinct steps."""
+    world = make_world(n_nodes=4, cores=4, ppn=4)
+    win = world.create_window(0, {"step": 0})
+    seen = []
+
+    def main(ctx):
+        for _ in range(10):
+            old = yield from win.fetch_and_op(ctx, "step", 1)
+            seen.append(old)
+
+    world.run(main)
+    assert sorted(seen) == list(range(16 * 10))
+    assert win.n_atomics == 160
+
+
+def test_remote_atomic_costs_more_than_local():
+    world = make_world(n_nodes=2, cores=4, ppn=4)
+    win = world.create_window(0, {"c": 0})
+    finish = {}
+
+    def main(ctx):
+        if ctx.rank in (0, 4):  # same node as host vs remote node
+            old = yield from win.fetch_and_op(ctx, "c", 1)
+            finish[ctx.rank] = ctx.sim.now
+        else:
+            yield Compute(0.0)
+
+    world.run(main)
+    assert finish[4] > finish[0]
+
+
+def test_atomic_get_does_not_modify():
+    world = make_world()
+    win = world.create_window(0, {"c": 41})
+    got = []
+
+    def main(ctx):
+        if ctx.rank == 1:
+            value = yield from win.atomic_get(ctx, "c")
+            got.append(value)
+        else:
+            yield Compute(0.0)
+
+    world.run(main)
+    assert got == [41]
+    assert win.peek("c") == 41
+
+
+def test_compare_and_swap_semantics():
+    world = make_world()
+    win = world.create_window(0, {"flag": 0})
+    got = []
+
+    def main(ctx):
+        if ctx.rank == 0:
+            old = yield from win.compare_and_swap(ctx, "flag", expected=0, desired=7)
+            got.append(old)  # 0 -> swap happened
+            old = yield from win.compare_and_swap(ctx, "flag", expected=0, desired=9)
+            got.append(old)  # 7 -> no swap
+        else:
+            yield Compute(0.0)
+
+    world.run(main)
+    assert got == [0, 7]
+    assert win.peek("flag") == 7
+
+
+def test_cas_only_one_winner_under_contention():
+    world = make_world(n_nodes=2, cores=4, ppn=4)
+    win = world.create_window(0, {"flag": 0})
+    winners = []
+
+    def main(ctx):
+        old = yield from win.compare_and_swap(
+            ctx, "flag", expected=0, desired=ctx.rank + 1
+        )
+        if old == 0:
+            winners.append(ctx.rank)
+
+    world.run(main)
+    assert len(winners) == 1
+    assert win.peek("flag") == winners[0] + 1
+
+
+def test_get_put_roundtrip():
+    world = make_world()
+    win = world.create_window(0, {"data": 0})
+    got = []
+
+    def main(ctx):
+        if ctx.rank == 5:
+            yield from win.put(ctx, "data", 123)
+            value = yield from win.get(ctx, "data")
+            got.append(value)
+        else:
+            yield Compute(0.0)
+
+    world.run(main)
+    assert got == [123]
+
+
+def test_unknown_cell_raises():
+    world = make_world()
+    win = world.create_window(0, {"a": 0})
+
+    def main(ctx):
+        if ctx.rank == 0:
+            yield from win.fetch_and_op(ctx, "nope", 1)
+        else:
+            yield Compute(0.0)
+
+    from repro.sim import ProcessFailure
+
+    with pytest.raises(ProcessFailure, match="no cell"):
+        world.run(main)
+
+
+def test_unsupported_op_raises():
+    world = make_world()
+    win = world.create_window(0, {"a": 0})
+
+    def main(ctx):
+        if ctx.rank == 0:
+            yield from win.fetch_and_op(ctx, "a", 1, op="xor")
+        else:
+            yield Compute(0.0)
+
+    from repro.sim import ProcessFailure
+
+    with pytest.raises(ProcessFailure, match="unsupported RMA op"):
+        world.run(main)
+
+
+def test_atomics_serialise_at_target():
+    """Two same-time atomics from different ranks must not overlap:
+    total elapsed >= 2 * processing time."""
+    world = make_world(n_nodes=1, cores=4, ppn=4)
+    win = world.create_window(0, {"c": 0})
+
+    def main(ctx):
+        yield from win.fetch_and_op(ctx, "c", 1)
+
+    world.run(main)
+    per_op = world.costs.mpi.shm_atomic
+    assert world.sim.now >= 4 * per_op - 1e-15
+
+
+def test_invalid_host_rank():
+    world = make_world()
+    with pytest.raises(ValueError, match="invalid host rank"):
+        world.create_window(99, {"a": 0})

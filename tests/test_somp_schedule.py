@@ -1,0 +1,87 @@
+"""Tests for OpenMP schedule parsing and technique mapping."""
+
+import pytest
+
+from repro.somp import ScheduleSpec, UnsupportedScheduleError
+
+
+def test_parse_plain_kind():
+    spec = ScheduleSpec.parse("static")
+    assert spec.kind == "static"
+    assert spec.chunk is None
+    assert spec.pinned
+
+
+def test_parse_kind_with_chunk():
+    spec = ScheduleSpec.parse("dynamic,4")
+    assert spec.kind == "dynamic"
+    assert spec.chunk == 4
+    assert not spec.pinned
+
+
+def test_parse_full_clause_syntax():
+    spec = ScheduleSpec.parse("schedule(guided,2)")
+    assert spec.kind == "guided"
+    assert spec.chunk == 2
+
+
+def test_parse_whitespace_and_case():
+    spec = ScheduleSpec.parse("  Dynamic , 1 ".lower())
+    assert spec.kind == "dynamic"
+    assert spec.chunk == 1
+
+
+def test_parse_rejects_unknown_kind():
+    with pytest.raises(UnsupportedScheduleError, match="unknown schedule"):
+        ScheduleSpec.parse("bogus")
+
+
+def test_parse_rejects_bad_chunk():
+    with pytest.raises(UnsupportedScheduleError, match="bad chunk"):
+        ScheduleSpec.parse("dynamic,x")
+    with pytest.raises(UnsupportedScheduleError, match="chunk must be"):
+        ScheduleSpec.parse("dynamic,0")
+
+
+def test_parse_rejects_extra_parts():
+    with pytest.raises(UnsupportedScheduleError, match="malformed"):
+        ScheduleSpec.parse("dynamic,1,2")
+
+
+def test_technique_mapping_paper_table1():
+    assert ScheduleSpec.from_technique("STATIC") == ScheduleSpec("static")
+    assert ScheduleSpec.from_technique("SS") == ScheduleSpec("dynamic", 1)
+    assert ScheduleSpec.from_technique("GSS") == ScheduleSpec("guided", 1)
+
+
+def test_extension_techniques_allowed_by_default():
+    assert ScheduleSpec.from_technique("TSS").kind == "tss"
+    assert ScheduleSpec.from_technique("FAC2").kind == "fac2"
+    assert ScheduleSpec.from_technique("WF").kind == "wf"
+    assert ScheduleSpec.from_technique("RND").kind == "random"
+
+
+def test_intel_runtime_rejects_extensions():
+    """The restriction that shapes the paper's figure series."""
+    for name in ("TSS", "FAC2", "WF", "RND"):
+        with pytest.raises(UnsupportedScheduleError, match="Intel OpenMP"):
+            ScheduleSpec.from_technique(name, extensions=False)
+    # the standard three still work
+    for name in ("STATIC", "SS", "GSS"):
+        ScheduleSpec.from_technique(name, extensions=False)
+
+
+def test_unmappable_technique_raises():
+    with pytest.raises(UnsupportedScheduleError, match="no OpenMP schedule"):
+        ScheduleSpec.from_technique("AWF-B")
+
+
+def test_str_roundtrip():
+    assert str(ScheduleSpec("guided", 1)) == "schedule(guided,1)"
+    assert str(ScheduleSpec("static")) == "schedule(static)"
+    assert ScheduleSpec.parse(str(ScheduleSpec("tss"))) == ScheduleSpec("tss")
+
+
+def test_is_extension_flag():
+    assert not ScheduleSpec("static").is_extension
+    assert ScheduleSpec("fac2").is_extension

@@ -1,0 +1,295 @@
+"""Tests for the simulated OpenMP team (worksharing, barriers, nowait)."""
+
+import pytest
+
+from repro.cluster.costs import CostModel
+from repro.core.trace import SYNC, Trace
+from repro.sim import Compute, Simulator
+from repro.somp import OmpTeam, ScheduleSpec
+
+COSTS = CostModel()
+
+
+def run_team(
+    n_threads,
+    chunks,
+    spec,
+    body_time=None,
+    nowait=False,
+    trace=None,
+    seed=0,
+):
+    """Drive a team through ``chunks`` = [(start, size), ...] from a
+    master process; returns (sim, team, executed ranges per thread)."""
+    sim = Simulator(seed=seed)
+    executed = []
+
+    if body_time is None:
+        def body_time(start, size, tid):
+            return 1e-3 * size
+
+    def tracked_body(start, size, tid):
+        executed.append((tid, start, size))
+        return body_time(start, size, tid)
+
+    team = OmpTeam(sim, n_threads, COSTS, name="T", trace=trace)
+    phases = []
+
+    def master():
+        for start, size in chunks:
+            phase = yield from team.parallel_for(
+                start, size, spec, tracked_body, nowait=nowait
+            )
+            phases.append(phase)
+        if nowait:
+            for phase in phases:
+                yield from team.quiesce(phase)
+        team.shutdown()
+
+    sim.spawn(master(), name="master")
+    sim.run()
+    return sim, team, executed
+
+
+def coverage(executed):
+    covered = set()
+    for _tid, start, size in executed:
+        for i in range(start, start + size):
+            assert i not in covered, f"iteration {i} executed twice"
+            covered.add(i)
+    return covered
+
+
+# ---------------------------------------------------------------------------
+# correctness of each schedule
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        ScheduleSpec("static"),
+        ScheduleSpec("static", 4),
+        ScheduleSpec("dynamic", 1),
+        ScheduleSpec("dynamic", 8),
+        ScheduleSpec("guided", 1),
+        ScheduleSpec("tss"),
+        ScheduleSpec("fac2"),
+        ScheduleSpec("tfss"),
+        ScheduleSpec("random"),
+    ],
+)
+def test_every_schedule_executes_all_iterations_exactly_once(spec):
+    _, _, executed = run_team(4, [(0, 100), (100, 57)], spec)
+    assert coverage(executed) == set(range(157))
+
+
+def test_static_no_chunk_gives_one_slice_per_thread():
+    _, _, executed = run_team(4, [(0, 100)], ScheduleSpec("static"))
+    assert len(executed) == 4
+    sizes = sorted(size for _, _, size in executed)
+    assert sizes == [25, 25, 25, 25]
+    # pinned: thread t gets the t-th contiguous slice
+    by_tid = {tid: start for tid, start, _ in executed}
+    assert by_tid == {0: 0, 1: 25, 2: 50, 3: 75}
+
+
+def test_static_chunked_round_robin():
+    _, _, executed = run_team(2, [(0, 8)], ScheduleSpec("static", 2))
+    got = {(tid, start) for tid, start, _ in executed}
+    assert got == {(0, 0), (1, 2), (0, 4), (1, 6)}
+
+
+def test_dynamic_chunk_sizes():
+    _, _, executed = run_team(4, [(0, 30)], ScheduleSpec("dynamic", 8))
+    sizes = sorted((size for _, _, size in executed), reverse=True)
+    assert sizes == [8, 8, 8, 6]
+
+
+def test_guided_sizes_decrease():
+    _, _, executed = run_team(4, [(0, 1000)], ScheduleSpec("guided", 1))
+    ordered = sorted(executed, key=lambda e: e[1])
+    sizes = [size for _, _, size in ordered]
+    assert sizes[0] == 250
+    assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+
+def test_implicit_barrier_blocks_until_slowest_thread():
+    """Reproduces the Fig. 2 mechanism: with pinned static and one slow
+    slice, the parallel_for cannot return before the slow thread ends."""
+
+    def body_time(start, size, tid):
+        return 1.0 if start >= 75 else 0.01  # last slice is slow
+
+    sim, _, _ = run_team(4, [(0, 100)], ScheduleSpec("static"), body_time)
+    assert sim.now >= 1.0
+
+
+def test_dynamic_schedule_balances_unequal_iterations():
+    """Self-scheduling lets fast threads take more sub-chunks."""
+
+    def body_time(start, size, tid):
+        return 1.0 * size if start < 25 else 0.01 * size
+
+    _, _, executed = run_team(4, [(0, 100)], ScheduleSpec("dynamic", 1), body_time)
+    per_thread = {}
+    for tid, _, size in executed:
+        per_thread[tid] = per_thread.get(tid, 0) + size
+    # the threads stuck with the expensive region execute fewer iterations
+    assert max(per_thread.values()) > min(per_thread.values())
+
+
+def test_barrier_sync_time_recorded_in_trace():
+    trace = Trace()
+
+    def body_time(start, size, tid):
+        return 1.0 if start == 0 else 0.1  # thread 0's pinned slice is slow
+
+    run_team(4, [(0, 4)], ScheduleSpec("static"), body_time, trace=trace)
+    sync = trace.sync_time_per_worker()
+    # fast threads waited, the slowest did not
+    waits = [sync.get(f"T.t{t}", 0.0) for t in range(4)]
+    assert waits[0] == pytest.approx(0.0, abs=1e-9)
+    assert all(w > 0.5 for w in waits[1:])
+
+
+def test_fork_paid_once_for_hot_team():
+    sim, team, _ = run_team(4, [(0, 10), (10, 10), (20, 10)], ScheduleSpec("static"))
+    # master overhead includes exactly one fork
+    master = next(p for p in sim.processes if p.name == "master")
+    fork = COSTS.omp.fork
+    assert master.overhead_time >= fork
+    assert master.overhead_time < 2 * fork + 1e-4
+
+
+def test_team_shutdown_terminates_threads():
+    sim, team, _ = run_team(3, [(0, 10)], ScheduleSpec("static"))
+    assert all(not t.alive for t in team.threads)
+
+
+def test_shutdown_is_idempotent_and_blocks_further_use():
+    sim = Simulator()
+    team = OmpTeam(sim, 2, COSTS)
+
+    def master():
+        team.shutdown()
+        team.shutdown()
+        try:
+            yield from team.parallel_for(0, 1, ScheduleSpec("static"), lambda *a: 0.0)
+        except RuntimeError as exc:
+            assert "shut down" in str(exc)
+            return
+        raise AssertionError("expected RuntimeError")
+
+    sim.spawn(master())
+    sim.run()
+
+
+def test_single_thread_team():
+    _, _, executed = run_team(1, [(0, 20)], ScheduleSpec("guided", 1))
+    assert coverage(executed) == set(range(20))
+    assert all(tid == 0 for tid, _, _ in executed)
+
+
+def test_invalid_team_size():
+    with pytest.raises(ValueError):
+        OmpTeam(Simulator(), 0, COSTS)
+
+
+# ---------------------------------------------------------------------------
+# nowait + self-fetch region
+# ---------------------------------------------------------------------------
+
+
+def test_nowait_master_returns_before_slowest():
+    return_times = []
+
+    def body_time(start, size, tid):
+        # thread 3's static slice is very slow
+        return 5.0 if start >= 75 else 0.01
+
+    sim = Simulator()
+    team = OmpTeam(sim, 4, COSTS, name="T")
+
+    def master():
+        phase = yield from team.parallel_for(
+            0, 100, ScheduleSpec("static"), body_time, nowait=True
+        )
+        return_times.append(sim.now)
+        yield from team.quiesce(phase)
+        return_times.append(sim.now)
+        team.shutdown()
+
+    sim.spawn(master(), name="master")
+    sim.run()
+    assert return_times[0] < 1.0  # master's own slice was fast
+    assert return_times[1] >= 5.0  # quiesce waited for the slow thread
+
+
+def test_selffetch_region_executes_all_chunks():
+    sim = Simulator()
+    team = OmpTeam(sim, 4, COSTS, name="T")
+    chunks = [(0, 40), (40, 40), (80, 20)]
+    executed = []
+    state = {"i": 0}
+
+    def fetch():
+        yield Compute(1e-5)  # the "MPI" call
+        if state["i"] >= len(chunks):
+            return None
+        chunk = chunks[state["i"]]
+        state["i"] += 1
+        return chunk
+
+    def body_time(start, size, tid):
+        executed.append((tid, start, size))
+        return 1e-4 * size
+
+    def master():
+        phase = yield from team.parallel_region_selffetch(
+            ScheduleSpec("dynamic", 4), body_time, fetch
+        )
+        assert phase.n_fetches == len(chunks) + 1  # +1 exhausted probe
+        team.shutdown()
+
+    sim.spawn(master(), name="master")
+    sim.run()
+    assert coverage(executed) == set(range(100))
+
+
+def test_selffetch_serialises_mpi_calls():
+    """Only one thread may be inside fetch() at a time."""
+    sim = Simulator()
+    team = OmpTeam(sim, 8, COSTS, name="T")
+    inside = {"count": 0, "max": 0}
+    state = {"i": 0}
+
+    def fetch():
+        inside["count"] += 1
+        inside["max"] = max(inside["max"], inside["count"])
+        yield Compute(1e-4)
+        inside["count"] -= 1
+        if state["i"] >= 10:
+            return None
+        state["i"] += 1
+        return (state["i"] * 10 - 10, 10)
+
+    def master():
+        yield from team.parallel_region_selffetch(
+            ScheduleSpec("dynamic", 1), lambda s, z, t: 1e-5 * z, fetch
+        )
+        team.shutdown()
+
+    sim.spawn(master(), name="master")
+    sim.run()
+    assert inside["max"] == 1
+
+
+def test_phase_stats_accounting():
+    sim, team, executed = run_team(4, [(0, 64)], ScheduleSpec("dynamic", 4))
+    stats = team.stats()
+    assert stats["phases"] == 1
+    assert stats["total_grabs"] == 16
+    phase = team.phases[0]
+    assert phase.executed == 64
+    assert sum(phase.executed_per_thread.values()) == 64

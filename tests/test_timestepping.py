@@ -1,0 +1,120 @@
+"""Tests for time-stepped AWF execution (repro.core.timestepping)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import heterogeneous, homogeneous
+from repro.cluster.noise import NO_NOISE
+from repro.core.timestepping import TimeSteppedLoop, TimeStepRecord
+from repro.models import FlatMpiModel, MpiMpiModel
+from repro.workloads import constant_workload
+
+
+class QuietModel(FlatMpiModel):
+    """Flat model with noise disabled for analytic assertions."""
+
+    def run(self, **kwargs):
+        kwargs.setdefault("noise", NO_NOISE)
+        return super().run(**kwargs)
+
+
+def make_loop(cluster, inter="AWF", intra="SS", smoothing=None):
+    return TimeSteppedLoop(
+        model=QuietModel(),
+        workload=constant_workload(2048, cost=1e-3),
+        cluster=cluster,
+        inter=inter,
+        intra=intra,
+        ppn=4,
+        smoothing=smoothing,
+    )
+
+
+def test_initial_weights_uniform():
+    loop = make_loop(homogeneous(2, 4))
+    assert np.allclose(loop.weights, 1.0)
+
+
+def test_run_returns_history():
+    loop = make_loop(homogeneous(2, 4))
+    history = loop.run(3)
+    assert len(history) == 3
+    assert all(isinstance(r, TimeStepRecord) for r in history)
+    assert [r.step for r in history] == [0, 1, 2]
+    assert all(r.parallel_time > 0 for r in history)
+
+
+def test_weights_converge_to_speed_ratio():
+    """On a 1x-vs-3x cluster the learned weights must approach the 3:1
+    speed ratio (flat model: one weight per worker; ranks 0-3 slow,
+    ranks 4-7 fast; normalised to sum to n_pes = 8)."""
+    cluster = heterogeneous([4, 4], core_speeds=[1.0, 3.0])
+    loop = make_loop(cluster)
+    assert loop.n_pes == 8
+    loop.run(4)
+    weights = loop.weights
+    assert weights[4] / weights[0] == pytest.approx(3.0, rel=0.15)
+    assert weights.sum() == pytest.approx(8.0)
+
+
+def test_adaptation_improves_time_on_heterogeneous_cluster():
+    cluster = heterogeneous([4, 4], core_speeds=[1.0, 3.0])
+    loop = make_loop(cluster, intra="STATIC")
+    history = loop.run(4)
+    # after adaptation the loop should not be slower than step 0
+    assert history[-1].parallel_time <= history[0].parallel_time * 1.02
+
+
+def test_ema_smoothing_validated():
+    loop = make_loop(homogeneous(2, 4), smoothing=2.0)
+    with pytest.raises(ValueError, match="smoothing"):
+        loop.run_step()
+
+
+def test_ema_smoothing_tracks_recent_rates():
+    cluster = heterogeneous([4, 4], core_speeds=[1.0, 2.0])
+    cumulative = make_loop(cluster)
+    ema = make_loop(cluster, smoothing=0.9)
+    cumulative.run(3)
+    ema.run(3)
+    # both must discover node 1's workers are faster
+    assert cumulative.weights[4] > cumulative.weights[0]
+    assert ema.weights[4] > ema.weights[0]
+
+
+def test_summary_renders():
+    loop = make_loop(homogeneous(2, 4))
+    loop.run(2)
+    text = loop.summary()
+    assert "step 0" in text and "step 1" in text
+    assert "weights=" in text
+
+
+def test_works_with_hierarchical_model():
+    loop = TimeSteppedLoop(
+        model=MpiMpiModel(),
+        workload=constant_workload(1024, cost=1e-3),
+        cluster=heterogeneous([4, 4], core_speeds=[1.0, 2.0]),
+        inter="WF",
+        intra="GSS",
+        ppn=4,
+    )
+    history = loop.run(2)
+    assert history[-1].parallel_time > 0
+    # hierarchical model: weights are per node
+    assert loop.n_pes == 2
+    assert loop.weights[1] > loop.weights[0]
+
+
+def test_seed_advances_per_step():
+    """Each time step draws fresh noise (seed + step)."""
+    loop = TimeSteppedLoop(
+        model=FlatMpiModel(),
+        workload=constant_workload(512, cost=1e-3),
+        cluster=homogeneous(2, 4),
+        inter="FAC2",
+        intra="SS",
+        ppn=4,
+    )
+    history = loop.run(2)
+    assert history[0].parallel_time != history[1].parallel_time
