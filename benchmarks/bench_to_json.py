@@ -1,0 +1,110 @@
+"""Record simulator-substrate throughput to a JSON file.
+
+Times the same hot paths as ``bench_simulator_perf.py`` — the event
+engine, the contended shared-window lock, remote atomics, and technique
+chunk calculation — without needing pytest-benchmark, and writes the
+numbers to a ``BENCH_PR<n>.json`` checked in at the repo root.  The
+file seeds the perf trajectory: each PR that touches a hot path records
+a new snapshot, so regressions are visible as data rather than lore.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_to_json.py --out BENCH_PR1.json
+
+Numbers are machine-dependent; compare snapshots taken on one machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Callable, Dict
+
+
+def _time_best(fn: Callable[[], object], rounds: int, warmup: int = 2) -> Dict[str, float]:
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return {
+        "best_s": min(times),
+        "mean_s": sum(times) / len(times),
+        "rounds": rounds,
+    }
+
+
+def collect(rounds: int = 30) -> Dict[str, Dict[str, float]]:
+    from bench_simulator_perf import (
+        _run_contended_lock,
+        _run_engine,
+        _run_remote_atomics,
+    )
+    from repro.core.technique_base import clear_sequence_cache
+    from repro.core.techniques import get_technique
+
+    results: Dict[str, Dict[str, float]] = {}
+
+    n_events = 64 * 100 + 64  # 64 procs x 100 delays + 64 spawn kickoffs
+    stats = _time_best(lambda: _run_engine(64, 100), rounds)
+    stats["events_per_s"] = n_events / stats["best_s"]
+    results["engine_event_throughput"] = stats
+
+    stats = _time_best(_run_contended_lock, rounds)
+    stats["acquisitions_per_s"] = 320 / stats["best_s"]
+    results["contended_window_lock"] = stats
+
+    stats = _time_best(_run_remote_atomics, rounds)
+    stats["atomics_per_s"] = 800 / stats["best_s"]
+    results["remote_atomic_throughput"] = stats
+
+    def chunk_calc():
+        # cold path on purpose: measure the recurrence, not the memo
+        clear_sequence_cache()
+        return get_technique("GSS").make(1_000_000, 64).total_steps()
+
+    stats = _time_best(chunk_calc, rounds)
+    results["gss_chunk_calculation_cold"] = stats
+
+    def chunk_calc_memoised():
+        return get_technique("GSS").make(1_000_000, 64).total_steps()
+
+    stats = _time_best(chunk_calc_memoised, rounds)
+    results["gss_chunk_calculation_memoised"] = stats
+
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_PR1.json")
+    parser.add_argument("--rounds", type=int, default=30)
+    parser.add_argument("--label", default="", help="free-form snapshot label")
+    args = parser.parse_args(argv)
+
+    payload = {
+        "schema": 1,
+        "label": args.label,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benchmarks": collect(rounds=args.rounds),
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for name, stats in sorted(payload["benchmarks"].items()):
+        print(f"{name:<36} best {stats['best_s'] * 1e3:8.3f} ms")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    import os
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    sys.exit(main())

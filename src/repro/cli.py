@@ -65,6 +65,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             seed=args.seed,
             node_counts=node_counts,
             progress=print if args.verbose else None,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
         )
         print(result.to_text())
         print()
@@ -155,6 +157,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", default=None,
                    help="comma-separated node counts (default 2,4,8,16)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="simulate independent grid cells on N processes")
+    p.add_argument("--cache-dir", default=None,
+                   help="content-addressed on-disk cell cache directory")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(fn=_cmd_figure)
 

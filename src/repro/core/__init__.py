@@ -25,6 +25,7 @@ from repro.core.technique_base import (
     IterationProfile,
     Technique,
     TechniqueError,
+    clear_sequence_cache,
 )
 from repro.core.techniques import TECHNIQUES, get_technique, list_techniques
 
@@ -38,6 +39,7 @@ __all__ = [
     "TECHNIQUES",
     "Technique",
     "TechniqueError",
+    "clear_sequence_cache",
     "compute_metrics",
     "get_technique",
     "list_techniques",

@@ -59,15 +59,33 @@ class IterationProfile:
         return self.sigma / self.mu
 
 
+#: global memo of materialised serial sequences: the same
+#: ``(technique, n, p, parameters)`` tuple recurs for every cell of a
+#: figure sweep (every rank of every run derives the identical schedule),
+#: so the recurrence is unrolled once per distinct key, process-wide.
+_SEQUENCE_CACHE: Dict[tuple, Tuple[np.ndarray, np.ndarray]] = {}
+_SEQUENCE_CACHE_MAX = 512
+
+
+def clear_sequence_cache() -> None:
+    """Drop all memoised chunk sequences (tests / memory control)."""
+    _SEQUENCE_CACHE.clear()
+
+
 class ChunkCalculator:
     """Chunk-size oracle for one execution of one scheduling level.
 
     Subclasses implement :meth:`_next_size`, the remaining-based
-    recurrence ``C_i = f(R_i, i)``; the base class memoises the
-    resulting serial sequence together with its prefix sums so that
-    ``size_at``/``start_at`` are O(1) amortised — this mirrors how the
+    recurrence ``C_i = f(R_i, i)``.  For deterministic calculators the
+    base class materialises the *entire* serial sequence as a NumPy
+    array together with its prefix sums on first use, so ``size_at`` /
+    ``start_at`` / ``total_steps`` are O(1) array reads and
+    :meth:`step_of` is a single ``searchsorted`` — this mirrors how the
     distributed chunk-calculation approach lets every rank evaluate the
-    schedule locally.
+    schedule locally.  Sequences are memoised process-wide per
+    :meth:`_memo_key`, so repeated runs over the same ``(technique, n,
+    p, profile)`` (every cell of a figure sweep) pay the recurrence
+    exactly once.
 
     Attributes
     ----------
@@ -88,21 +106,51 @@ class ChunkCalculator:
         self.name = name
         self.n = int(n)
         self.p = int(p)
-        self._sizes: List[int] = []
-        self._prefix: List[int] = [0]
+        #: materialised serial sequence + prefix sums (deterministic only)
+        self._sizes_arr: Optional[np.ndarray] = None
+        self._prefix_arr: Optional[np.ndarray] = None
 
     # -- recurrence ----------------------------------------------------
     def _next_size(self, remaining: int, step: int) -> int:
         """Chunk size when ``remaining`` iterations are unscheduled at ``step``."""
         raise NotImplementedError
 
-    def _extend_to(self, step: int) -> None:
-        while len(self._sizes) <= step and self._prefix[-1] < self.n:
-            remaining = self.n - self._prefix[-1]
-            size = self._next_size(remaining, len(self._sizes))
-            size = max(1, min(int(size), remaining))
-            self._sizes.append(size)
-            self._prefix.append(self._prefix[-1] + size)
+    def _memo_key(self) -> Optional[tuple]:
+        """Hashable identity of the serial sequence, or None.
+
+        Subclasses whose sequence is a pure function of their
+        constructor parameters return a key so materialised sequences
+        are shared process-wide; the default (no sharing) is always
+        safe.
+        """
+        return None
+
+    def _materialize(self) -> np.ndarray:
+        """Unroll the full serial sequence into arrays (once)."""
+        key = self._memo_key()
+        if key is not None:
+            cached = _SEQUENCE_CACHE.get(key)
+            if cached is not None:
+                self._sizes_arr, self._prefix_arr = cached
+                return self._sizes_arr
+        sizes: List[int] = []
+        total = 0
+        n = self.n
+        next_size = self._next_size
+        while total < n:
+            size = next_size(n - total, len(sizes))
+            size = max(1, min(int(size), n - total))
+            sizes.append(size)
+            total += size
+        sizes_arr = np.asarray(sizes, dtype=np.int64)
+        prefix_arr = np.concatenate(([0], np.cumsum(sizes_arr)))
+        self._sizes_arr = sizes_arr
+        self._prefix_arr = prefix_arr
+        if key is not None:
+            if len(_SEQUENCE_CACHE) >= _SEQUENCE_CACHE_MAX:
+                _SEQUENCE_CACHE.clear()
+            _SEQUENCE_CACHE[key] = (sizes_arr, prefix_arr)
+        return sizes_arr
 
     # -- public API ------------------------------------------------------
     def size_at(self, step: int, pe: Optional[int] = None) -> int:
@@ -113,9 +161,11 @@ class ChunkCalculator:
         """
         if step < 0:
             raise TechniqueError(f"negative scheduling step {step}")
-        self._extend_to(step)
-        if step < len(self._sizes):
-            return self._sizes[step]
+        sizes = self._sizes_arr
+        if sizes is None:
+            sizes = self._materialize()
+        if step < sizes.size:
+            return int(sizes[step])
         return 0
 
     def start_at(self, step: int) -> int:
@@ -129,10 +179,29 @@ class ChunkCalculator:
             raise TechniqueError(
                 f"{self.name} is adaptive/PE-dependent; start_at() is undefined"
             )
-        self._extend_to(step)
-        if step < len(self._prefix) - 1:
-            return self._prefix[step]
+        if self._sizes_arr is None:
+            self._materialize()
+        if step < self._sizes_arr.size:
+            return int(self._prefix_arr[step])
         return self.n
+
+    def step_of(self, iteration: int) -> int:
+        """Scheduling step whose chunk covers ``iteration`` (O(log S)).
+
+        A single ``searchsorted`` over the cached prefix sums
+        (deterministic only).
+        """
+        if not self.deterministic:
+            raise TechniqueError(
+                f"{self.name} is adaptive/PE-dependent; step_of() is undefined"
+            )
+        if not 0 <= iteration < self.n:
+            raise TechniqueError(
+                f"iteration {iteration} outside loop of {self.n} iterations"
+            )
+        if self._prefix_arr is None:
+            self._materialize()
+        return int(np.searchsorted(self._prefix_arr, iteration, side="right")) - 1
 
     def record(
         self,
@@ -147,13 +216,19 @@ class ChunkCalculator:
         """Number of chunks in the serial unrolling (deterministic only)."""
         if not self.deterministic:
             raise TechniqueError(f"{self.name}: total_steps undefined for adaptive")
-        self._extend_to(2 * self.n + 16)
-        return len(self._sizes)
+        sizes = self._sizes_arr
+        if sizes is None:
+            sizes = self._materialize()
+        return int(sizes.size)
 
     def sequence(self) -> List[int]:
         """The full serial chunk-size sequence (deterministic only)."""
-        self.total_steps()
-        return list(self._sizes)
+        if not self.deterministic:
+            raise TechniqueError(f"{self.name}: sequence undefined for adaptive")
+        sizes = self._sizes_arr
+        if sizes is None:
+            sizes = self._materialize()
+        return sizes.tolist()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r}, n={self.n}, p={self.p})"
@@ -259,4 +334,5 @@ __all__ = [
     "TechniqueError",
     "batch_index",
     "ceil_div",
+    "clear_sequence_cache",
 ]

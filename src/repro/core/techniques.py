@@ -93,6 +93,9 @@ class _GssCalculator(ChunkCalculator):
     def _next_size(self, remaining: int, step: int) -> int:
         return ceil_div(remaining, self.p)
 
+    def _memo_key(self):
+        return ("GSS", self.n, self.p)
+
 
 class _TssCalculator(ChunkCalculator):
     """Linear decrement; also the basis for TFSS."""
@@ -108,6 +111,10 @@ class _TssCalculator(ChunkCalculator):
 
     def _next_size(self, remaining: int, step: int) -> int:
         return max(self.last, int(round(self.first - step * self.delta)))
+
+    def _memo_key(self):
+        # covers TFSS too: the subclass type disambiguates the key
+        return (type(self).__name__, self.n, self.p)
 
 
 class _TfssCalculator(_TssCalculator):
@@ -127,6 +134,9 @@ class _FacCalculator(ChunkCalculator):
         super().__init__(name, n, p)
         self.profile = profile
         self._batch_size: int = 0
+
+    def _memo_key(self):
+        return ("FAC", self.n, self.p, self.profile.mu, self.profile.sigma)
 
     def _next_size(self, remaining: int, step: int) -> int:
         if step % self.p == 0:
@@ -152,6 +162,9 @@ class _Fac2Calculator(ChunkCalculator):
             self._batch_size = max(1, ceil_div(remaining, 2 * self.p))
         return self._batch_size
 
+    def _memo_key(self):
+        return ("FAC2", self.n, self.p)
+
 
 class _TapCalculator(ChunkCalculator):
     """Lucco's tapering (needs mu, sigma; alpha defaults to 1.3)."""
@@ -166,6 +179,9 @@ class _TapCalculator(ChunkCalculator):
         t = remaining / self.p
         size = t + self.v * self.v / 2.0 - self.v * math.sqrt(2.0 * t + self.v * self.v / 4.0)
         return max(1, int(math.ceil(size)))
+
+    def _memo_key(self):
+        return ("TAP", self.n, self.p, self.v)
 
 
 # ---------------------------------------------------------------------------

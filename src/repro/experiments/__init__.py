@@ -22,12 +22,14 @@ from repro.experiments.figures import (
     run_figure,
     run_sync_illustration,
 )
-from repro.experiments.harness import GridRunner, scale_from_env
+from repro.experiments.harness import Cell, GridRunner, simulate_cell
+from repro.experiments.workloads import scale_from_env
 from repro.experiments.tables import table1
 from repro.experiments.workloads import figure_mandelbrot, figure_psia
 
 __all__ = [
     "FIGURES",
+    "Cell",
     "FigureResult",
     "FigureSpec",
     "GridRunner",
@@ -36,5 +38,6 @@ __all__ = [
     "run_figure",
     "run_sync_illustration",
     "scale_from_env",
+    "simulate_cell",
     "table1",
 ]

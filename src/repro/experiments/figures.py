@@ -215,8 +215,16 @@ def run_figure(
     seed: int = 0,
     node_counts: Optional[Tuple[int, ...]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> FigureResult:
-    """Regenerate one of the paper's figures (``fig4a`` .. ``fig7b``)."""
+    """Regenerate one of the paper's figures (``fig4a`` .. ``fig7b``).
+
+    ``jobs > 1`` simulates independent grid cells on a process pool and
+    ``cache_dir`` re-serves previously simulated cells from disk; both
+    produce results identical to the serial path (see
+    :mod:`repro.experiments.parallel`).
+    """
     if figure_id not in FIGURES:
         raise KeyError(f"unknown figure {figure_id!r}; known: {sorted(FIGURES)}")
     spec = FIGURES[figure_id]
@@ -237,6 +245,8 @@ def run_figure(
         node_counts=spec.node_counts,
         seed=seed,
         progress=progress,
+        jobs=jobs,
+        cache_dir=cache_dir,
     )
     cells = runner.sweep(spec.inter, spec.intras, APPROACHES)
     result = FigureResult(spec=spec, cells=cells)

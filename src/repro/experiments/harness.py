@@ -1,19 +1,21 @@
 """Grid runner: sweep (approach x intra x nodes) cells for one figure.
 
-Runs are independent simulations; the runner caches nothing across
-cells except the workload object (which is the expensive part) and
-collects results into a tidy list for the report layer.
+Runs are independent simulations, so the runner can fan them out over a
+process pool (``jobs``) and serve repeats from a content-addressed
+on-disk cache (``cache_dir``) — see :mod:`repro.experiments.parallel`.
+Within one process it caches nothing across cells except the workload
+object (which is the expensive part) and collects results into a tidy
+list for the report layer.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.api import run_hierarchical
 from repro.cluster.machine import ClusterSpec, minihpc
-from repro.experiments.workloads import scale_from_env
 from repro.models.base import RunResult
 from repro.workloads.base import Workload
 
@@ -37,6 +39,63 @@ class Cell:
     def label(self) -> str:
         return f"{self.inter}+{self.intra}"
 
+    def to_dict(self) -> Dict[str, object]:
+        """Stable JSON-ready form (the cache / report interchange layer)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Cell":
+        return cls(**payload)
+
+    def same_result(self, other: "Cell") -> bool:
+        """Equality of everything the simulation determines.
+
+        ``wall_seconds`` measures the host machine, not the simulated
+        system, so it is excluded — it is the one field allowed to vary
+        between a serial run, a parallel run, and a cache hit.
+        """
+        mine, theirs = self.to_dict(), other.to_dict()
+        mine.pop("wall_seconds")
+        theirs.pop("wall_seconds")
+        return mine == theirs
+
+
+def simulate_cell(
+    workload: Workload,
+    cluster: ClusterSpec,
+    approach: str,
+    inter: str,
+    intra: str,
+    nodes: int,
+    ppn: int,
+    seed: int,
+) -> Cell:
+    """Run one cell's simulation (shared by serial path and pool workers)."""
+    t0 = time.perf_counter()
+    result: RunResult = run_hierarchical(
+        workload,
+        cluster,
+        inter=inter,
+        intra=intra,
+        approach=approach,
+        ppn=ppn,
+        seed=seed,
+        collect_chunks=False,
+    )
+    wall = time.perf_counter() - t0
+    return Cell(
+        approach=approach,
+        inter=inter,
+        intra=intra,
+        nodes=nodes,
+        time=result.parallel_time,
+        overhead_fraction=result.metrics.overhead_fraction,
+        idle_fraction=result.metrics.idle_fraction,
+        cov=result.metrics.cov_finish,
+        n_events=result.n_events,
+        wall_seconds=wall,
+    )
+
 
 @dataclass
 class GridRunner:
@@ -44,51 +103,48 @@ class GridRunner:
 
     Parameters mirror the paper's setup: 16 workers per node, node
     counts {2, 4, 8, 16}, inter technique fixed per figure, intra
-    techniques on the panels.
+    techniques on the panels.  ``jobs > 1`` fans independent cells out
+    over a process pool; ``cache_dir`` serves previously simulated
+    cells from disk (results are identical either way — see
+    :mod:`repro.experiments.parallel`).
     """
 
     workload: Workload
     ppn: int = 16
     node_counts: Tuple[int, ...] = (2, 4, 8, 16)
     seed: int = 0
-    cluster_factory: Callable[[int], ClusterSpec] = None
+    cluster_factory: Optional[Callable[[int], ClusterSpec]] = None
     progress: Optional[Callable[[str], None]] = None
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    #: filled by :meth:`sweep`: {"cells", "simulated", "cache_hits"}
+    last_sweep_stats: Dict[str, int] = field(default_factory=dict, repr=False)
 
     def __post_init__(self):
         if self.cluster_factory is None:
             self.cluster_factory = lambda n: minihpc(n, self.ppn)
 
     def run_cell(self, approach: str, inter: str, intra: str, nodes: int) -> Cell:
-        t0 = time.perf_counter()
-        result: RunResult = run_hierarchical(
+        cell = simulate_cell(
             self.workload,
             self.cluster_factory(nodes),
-            inter=inter,
-            intra=intra,
-            approach=approach,
-            ppn=self.ppn,
-            seed=self.seed,
-            collect_chunks=False,
+            approach,
+            inter,
+            intra,
+            nodes,
+            self.ppn,
+            self.seed,
         )
-        wall = time.perf_counter() - t0
-        cell = Cell(
-            approach=approach,
-            inter=inter,
-            intra=intra,
-            nodes=nodes,
-            time=result.parallel_time,
-            overhead_fraction=result.metrics.overhead_fraction,
-            idle_fraction=result.metrics.idle_fraction,
-            cov=result.metrics.cov_finish,
-            n_events=result.n_events,
-            wall_seconds=wall,
-        )
-        if self.progress is not None:
-            self.progress(
-                f"  {approach:<11} {inter}+{intra:<7} nodes={nodes:<3} "
-                f"T={result.parallel_time:.4g}s  ({wall:.1f}s wall)"
-            )
+        self._report(cell)
         return cell
+
+    def _report(self, cell: Cell, cached: bool = False) -> None:
+        if self.progress is not None:
+            suffix = "cached" if cached else f"{cell.wall_seconds:.1f}s wall"
+            self.progress(
+                f"  {cell.approach:<11} {cell.inter}+{cell.intra:<7} "
+                f"nodes={cell.nodes:<3} T={cell.time:.4g}s  ({suffix})"
+            )
 
     def sweep(
         self,
@@ -102,13 +158,61 @@ class GridRunner:
         filter reproduces runtime restrictions (the Intel OpenMP stack
         cannot run TSS/FAC2 at the intra level — paper Sec. 5).
         """
-        cells: List[Cell] = []
-        for intra in intras:
-            for approach, supports in approaches:
-                if not supports(intra):
-                    continue
-                for nodes in self.node_counts:
-                    cells.append(self.run_cell(approach, inter, intra, nodes))
+        from repro.experiments.parallel import (
+            CellCache,
+            cell_key,
+            run_cells,
+            workload_fingerprint,
+        )
+
+        specs: List[Tuple[str, str, str, int]] = [
+            (approach, inter, intra, nodes)
+            for intra in intras
+            for approach, supports in approaches
+            if supports(intra)
+            for nodes in self.node_counts
+        ]
+        clusters = [self.cluster_factory(nodes) for *_rest, nodes in specs]
+
+        cache = CellCache(self.cache_dir) if self.cache_dir else None
+        cells: List[Optional[Cell]] = [None] * len(specs)
+        keys: List[Optional[str]] = [None] * len(specs)
+        if cache is not None:
+            fingerprint = workload_fingerprint(self.workload)
+            for index, (spec, cluster) in enumerate(zip(specs, clusters)):
+                keys[index] = cell_key(
+                    fingerprint, cluster, *spec, self.ppn, self.seed
+                )
+                cells[index] = cache.get(keys[index])
+                if cells[index] is not None:
+                    self._report(cells[index], cached=True)
+
+        missing = [i for i, cell in enumerate(cells) if cell is None]
+
+        def on_result(position: int, cell: Cell) -> None:
+            # Streamed as each simulation completes (completion order
+            # under a pool) so --verbose shows liveness on long sweeps.
+            index = missing[position]
+            cells[index] = cell
+            if cache is not None:
+                cache.put(keys[index], cell)
+            self._report(cell)
+
+        run_cells(
+            self.workload,
+            [specs[i] for i in missing],
+            [clusters[i] for i in missing],
+            self.ppn,
+            self.seed,
+            self.jobs,
+            on_result=on_result,
+        )
+
+        self.last_sweep_stats = {
+            "cells": len(specs),
+            "simulated": len(missing),
+            "cache_hits": len(specs) - len(missing),
+        }
         return cells
 
 

@@ -1,0 +1,244 @@
+"""Parallel cell execution and a content-addressed result cache.
+
+The figure sweeps are embarrassingly parallel: every ``(approach, inter,
+intra, nodes)`` cell is an independent, deterministic simulation.  This
+module supplies the two layers the :class:`~repro.experiments.harness.
+GridRunner` uses to exploit that:
+
+* :func:`run_cells` — a ``ProcessPoolExecutor`` fan-out over cell
+  specs.  The (potentially large) workload cost vector is shipped to
+  each worker exactly once via the pool initializer, stripped of its
+  unpicklable executor closure — the simulator only reads costs.
+  Because each cell is simulated with its own freshly seeded
+  :class:`~repro.sim.engine.Simulator`, parallel results are identical
+  to a serial sweep, cell for cell (``wall_seconds``, which measures
+  the host machine, is the only field that may differ).
+* :class:`CellCache` — an on-disk JSON cache keyed by a SHA-256 digest
+  of everything a cell's result depends on: the workload fingerprint
+  (name + cost bytes), the cluster spec, approach, inter/intra
+  techniques, node count, ppn and seed.  A second sweep over the same
+  inputs runs zero simulations; changing any input (a different seed, a
+  rescaled workload) changes the digest and misses cleanly.
+
+In the spirit of the paper's distributed-chunk-calculation argument,
+this removes the serial coordinator from figure regeneration: work that
+does not depend on other work does not wait for it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.costs import DEFAULT_COSTS
+from repro.cluster.machine import ClusterSpec
+from repro.cluster.noise import MILD_NOISE
+from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.harness import Cell
+
+#: (approach, inter, intra, nodes) — one grid cell to simulate
+CellSpec = Tuple[str, str, str, int]
+
+CACHE_FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# fingerprints and cache keys
+# ---------------------------------------------------------------------------
+def workload_fingerprint(workload: Workload) -> str:
+    """Content hash of a workload: its name plus exact cost bytes.
+
+    Any change to the iteration costs — different scale, different
+    kernel parameters, a rescaled copy — changes the fingerprint.
+    """
+    digest = hashlib.sha256()
+    digest.update(workload.name.encode("utf-8"))
+    digest.update(str(workload.n).encode("ascii"))
+    digest.update(workload.costs.tobytes())
+    return digest.hexdigest()
+
+
+def cluster_signature(cluster: ClusterSpec) -> List:
+    """JSON-friendly identity of a cluster spec (names excluded)."""
+    return [
+        [[node.cores, node.core_speed] for node in cluster.nodes],
+        cluster.network_latency,
+        cluster.network_bandwidth,
+    ]
+
+
+def model_signature() -> Dict[str, object]:
+    """Identity of the cost/noise models the simulation resolves to.
+
+    ``simulate_cell`` always runs with the package defaults, but those
+    defaults are code: a PR that tunes a cost constant (say the
+    lock-poll interval behind the paper's X+SS result) changes every
+    simulated number, and the cache must miss — without anyone
+    remembering to bump ``CACHE_FORMAT_VERSION``.
+    """
+    return {"costs": asdict(DEFAULT_COSTS), "noise": asdict(MILD_NOISE)}
+
+
+def cell_key(
+    workload_fp: str,
+    cluster: ClusterSpec,
+    approach: str,
+    inter: str,
+    intra: str,
+    nodes: int,
+    ppn: int,
+    seed: int,
+) -> str:
+    """Content-addressed cache key for one grid cell."""
+    payload = json.dumps(
+        {
+            "version": CACHE_FORMAT_VERSION,
+            "workload": workload_fp,
+            "cluster": cluster_signature(cluster),
+            "models": model_signature(),
+            "approach": approach,
+            "inter": inter,
+            "intra": intra,
+            "nodes": nodes,
+            "ppn": ppn,
+            "seed": seed,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class CellCache:
+    """Directory of ``<key>.json`` files holding serialized Cells."""
+
+    def __init__(self, root: str):
+        self.root = root
+        if os.path.exists(root) and not os.path.isdir(root):
+            raise NotADirectoryError(
+                f"cell cache path {root!r} exists and is not a directory"
+            )
+        os.makedirs(root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def get(self, key: str) -> Optional["Cell"]:
+        from repro.experiments.harness import Cell
+
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if payload.get("version") != CACHE_FORMAT_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return Cell.from_dict(payload["cell"])
+
+    def put(self, key: str, cell: "Cell") -> None:
+        # Atomic publish: concurrent writers (parallel sweeps sharing a
+        # cache directory) each rename a complete temp file into place.
+        payload = {"version": CACHE_FORMAT_VERSION, "key": key, "cell": cell.to_dict()}
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.root) if name.endswith(".json"))
+
+
+# ---------------------------------------------------------------------------
+# process-pool fan-out
+# ---------------------------------------------------------------------------
+def _strip_executor(workload: Workload) -> Workload:
+    """Pickle-safe copy: drop the executor closure (simulation-only)."""
+    if workload.executor is None:
+        return workload
+    return Workload(
+        name=workload.name,
+        costs=workload.costs,
+        meta=dict(workload.meta),
+        executor=None,
+    )
+
+
+# Per-worker context, installed once by the pool initializer so the cost
+# vector crosses the process boundary a single time per worker.
+_WORKER_CTX: Optional[Tuple[Workload, int, int]] = None
+
+
+def _init_worker(workload: Workload, ppn: int, seed: int) -> None:
+    global _WORKER_CTX
+    _WORKER_CTX = (workload, ppn, seed)
+
+
+def _run_cell_in_worker(task: Tuple[CellSpec, ClusterSpec]) -> "Cell":
+    from repro.experiments.harness import simulate_cell
+
+    (approach, inter, intra, nodes), cluster = task
+    workload, ppn, seed = _WORKER_CTX
+    return simulate_cell(workload, cluster, approach, inter, intra, nodes, ppn, seed)
+
+
+def run_cells(
+    workload: Workload,
+    specs: Sequence[CellSpec],
+    clusters: Sequence[ClusterSpec],
+    ppn: int,
+    seed: int,
+    jobs: int,
+    on_result: Optional[Callable[[int, "Cell"], None]] = None,
+) -> List["Cell"]:
+    """Simulate ``specs`` (with matching ``clusters``) on ``jobs`` processes.
+
+    Results come back in input order.  ``on_result(index, cell)`` fires
+    as each cell completes (completion order under a pool) so callers
+    can stream progress.  ``jobs`` is capped at the number of cells;
+    ``jobs <= 1`` falls back to inline execution.
+    """
+    from repro.experiments.harness import simulate_cell
+
+    if jobs <= 1 or len(specs) <= 1:
+        cells = []
+        for index, (spec, cluster) in enumerate(zip(specs, clusters)):
+            cell = simulate_cell(workload, cluster, *spec, ppn, seed)
+            if on_result is not None:
+                on_result(index, cell)
+            cells.append(cell)
+        return cells
+    shippable = _strip_executor(workload)
+    tasks = list(zip(specs, clusters))
+    results: List[Optional["Cell"]] = [None] * len(tasks)
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(specs)),
+        initializer=_init_worker,
+        initargs=(shippable, ppn, seed),
+    ) as pool:
+        futures = {
+            pool.submit(_run_cell_in_worker, task): index
+            for index, task in enumerate(tasks)
+        }
+        for future in as_completed(futures):
+            index = futures[future]
+            results[index] = future.result()
+            if on_result is not None:
+                on_result(index, results[index])
+    return results

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from repro.core import trace as trace_mod
 from repro.models.base import ExecutionModel, GlobalQueue, _Run
-from repro.sim.primitives import Compute
+from repro.sim.primitives import Compute, ComputeOnce
 from repro.smpi.world import MpiWorld, RankCtx
 
 
@@ -64,7 +64,7 @@ class FlatMpiModel(ExecutionModel):
                 run.record_chunk(step, start, size, pe=ctx.rank)
                 duration = run.exec_time(start, size, ctx.node, ctx.core)
                 t0 = run.sim.now
-                yield Compute(duration)
+                yield ComputeOnce(duration)  # jittered: unique per chunk, skip interning
                 if run.trace is not None:
                     run.trace.add(ctx.name(), t0, run.sim.now, trace_mod.COMPUTE)
                 calc.record(ctx.rank, size, compute_time=duration)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from repro.core import trace as trace_mod
 from repro.models.base import ExecutionModel, _Run
-from repro.sim.primitives import Compute, Overhead
+from repro.sim.primitives import Compute, ComputeOnce, Overhead
 from repro.smpi.world import MpiWorld, RankCtx
 
 #: message tags
@@ -93,7 +93,7 @@ class MasterWorkerModel(ExecutionModel):
                     )
                 duration = run.exec_time(start, size, ctx.node, ctx.core)
                 t0 = run.sim.now
-                yield Compute(duration)
+                yield ComputeOnce(duration)  # jittered: unique per chunk, skip interning
                 if run.trace is not None:
                     run.trace.add(ctx.name(), t0, run.sim.now, trace_mod.COMPUTE)
                 calc.record((ctx.rank - 1) % n_workers, size, compute_time=duration)

@@ -33,7 +33,7 @@ from typing import List, Optional
 from repro.core import trace as trace_mod
 from repro.core.technique_base import ChunkCalculator
 from repro.models.base import ExecutionModel, GlobalQueue, _Run
-from repro.sim.primitives import Compute
+from repro.sim.primitives import Compute, ComputeOnce
 from repro.smpi.shm import SharedWindow
 from repro.smpi.world import MpiWorld, RankCtx
 
@@ -210,7 +210,7 @@ class MpiMpiModel(ExecutionModel):
                 trace.add(worker_name, t_obtain, sim.now, trace_mod.OBTAIN)
             duration = run.exec_time(sub_start, sub_size, ctx.node, ctx.core)
             t0 = sim.now
-            yield Compute(duration)
+            yield ComputeOnce(duration)  # jittered: unique per chunk, skip interning
             if trace is not None:
                 trace.add(worker_name, t0, sim.now, trace_mod.COMPUTE)
             head.calc.record(ctx.local_rank, sub_size, compute_time=duration)

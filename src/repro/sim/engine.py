@@ -6,18 +6,89 @@ communicate and synchronise exclusively through the primitives in
 :mod:`repro.sim.primitives` and the resources in
 :mod:`repro.sim.resources`, which keeps the engine itself tiny and the
 whole simulation deterministic.
+
+Performance notes
+-----------------
+Every paper artifact replays millions of events through this loop, so
+:meth:`Simulator.run` is written as a single inlined interpreter:
+
+* a type-keyed dispatch table (:data:`_COMMAND_KINDS`) replaces the
+  old ``isinstance`` chain; unknown ``Command`` subclasses are resolved
+  once and memoised;
+* per-event attribute lookups (heap ops, ``DelayKind`` members) are
+  hoisted into locals, and the dominant pop-then-push pair is fused
+  into a single ``heapreplace`` (the current event is *peeked* and
+  lazily replaced by the process's next resume, halving sift work);
+* zero-delay resumes — spawn kick-offs, event triggers, lock hand-offs,
+  the poll loops behind ``SharedWindow.lock`` — go through a FIFO
+  *ready* deque instead of the heap (O(1) instead of O(log n)); the
+  deque is merged with the heap in exact ``(time, seq)`` order, so
+  execution order is bit-identical to the pure-heap engine.
+
+The lazy-root invariant: while a heap-sourced event is being
+interpreted, its entry remains the heap root.  Every resume scheduled
+*during* interpretation lies strictly later in ``(time, seq)`` order
+(delays are positive, sequence numbers grow), so the root stays the
+minimum until it is replaced or popped on every exit path.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
+from collections import deque
+from itertools import count
+from math import inf as _INF
+from typing import Any, Callable, Deque, Dict, Generator, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.sim.primitives import Command, Delay, DelayKind, Halt, SimEvent, Spawn
 
 ProcessBody = Generator[Command, Any, Any]
+
+#: dispatch codes for the command interpreter
+_KIND_DELAY = 1
+_KIND_EVENT = 2
+_KIND_SPAWN = 3
+_KIND_HALT = 4
+
+#: type-keyed dispatch table; exact types are pre-registered, subclasses
+#: are resolved through ``_resolve_command_kind`` and memoised here.
+_COMMAND_KINDS: Dict[type, int] = {
+    Delay: _KIND_DELAY,
+    SimEvent: _KIND_EVENT,
+    Spawn: _KIND_SPAWN,
+    Halt: _KIND_HALT,
+}
+
+
+#: sentinel returned by ``Simulator._interpret_uncommon`` when the
+#: process blocked (scheduled a future resume) instead of continuing.
+_BLOCKED = object()
+
+
+def _resolve_command_kind(cls: type) -> int:
+    """Slow-path dispatch for Command subclasses (memoised)."""
+    for base, code in (
+        (Delay, _KIND_DELAY),
+        (SimEvent, _KIND_EVENT),
+        (Spawn, _KIND_SPAWN),
+        (Halt, _KIND_HALT),
+    ):
+        if issubclass(cls, base):
+            _COMMAND_KINDS[cls] = code
+            return code
+    return 0
+
+
+class _HaltSignal(BaseException):
+    """Internal control-flow signal: a process yielded ``Halt``.
+
+    Raised (and always caught) inside :meth:`Simulator.run` so the hot
+    loop does not need a per-event halt check; derives from
+    ``BaseException`` so stray ``except Exception`` user code cannot
+    swallow it.
+    """
 
 
 class ProcessFailure(RuntimeError):
@@ -42,9 +113,11 @@ class Process:
     __slots__ = (
         "name",
         "gen",
+        "send",
         "sim",
         "alive",
-        "done",
+        "finished",
+        "_done",
         "result",
         "start_time",
         "end_time",
@@ -57,10 +130,14 @@ class Process:
     def __init__(self, sim: "Simulator", gen: ProcessBody, name: str):
         self.sim = sim
         self.gen = gen
+        #: bound ``gen.send`` — resolved once; the run loop's hottest call
+        self.send = gen.send
         self.name = name
         self.alive = True
-        #: Triggered (with the generator's return value) on termination.
-        self.done = SimEvent(sim, name=f"{name}.done")
+        #: True only after a *normal* termination (generator returned);
+        #: stays False for processes killed by ProcessFailure.
+        self.finished = False
+        self._done: Optional[SimEvent] = None
         self.result: Any = None
         self.start_time = sim.now
         self.end_time: Optional[float] = None
@@ -69,6 +146,25 @@ class Process:
         self.idle_time = 0.0
         #: Free-form annotations (rank ids, node ids, ...), set by layers above.
         self.meta: Dict[str, Any] = {}
+
+    @property
+    def done(self) -> SimEvent:
+        """Triggered (with the generator's return value) on termination.
+
+        Created lazily: most processes are never waited on, so the
+        event (and its trigger at finish time) would be pure overhead.
+        A process that already terminated hands back a pre-triggered
+        event carrying its result.
+        """
+        event = self._done
+        if event is None:
+            event = self._done = SimEvent(self.sim, name=f"{self.name}.done")
+            if self.finished:
+                # Normal termination only: a crashed process (raised ->
+                # ProcessFailure) must not present itself as completed.
+                event.triggered = True
+                event.value = self.result
+        return event
 
     @property
     def elapsed(self) -> float:
@@ -116,7 +212,11 @@ class Simulator:
     ):
         self.now: float = 0.0
         self._heap: List[Tuple[float, int, Process, Any]] = []
-        self._seq = 0
+        #: zero-delay resumes at the *current* time, FIFO by sequence
+        #: number; merged with the heap in exact (time, seq) order.
+        self._ready: Deque[Tuple[int, Process, Any]] = deque()
+        #: shared monotonic sequence for FIFO tie-breaking (C-level fast)
+        self._seq = count(1)
         self.seed = int(seed)
         self._rngs: Dict[str, np.random.Generator] = {}
         self.processes: List[Process] = []
@@ -169,25 +269,252 @@ class Simulator:
         return process
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the heap drains, ``until`` is reached, or a halt.
+        """Run until the queues drain, ``until`` is reached, or a halt.
 
         Returns the final simulation time.  Re-entrant calls are not
         supported (the engine is strictly single-threaded).
         """
+        # -- hoisted hot-loop locals -----------------------------------
         heap = self._heap
-        while heap:
-            time, _seq, process, value = heapq.heappop(heap)
-            if until is not None and time > until:
-                # Put it back so that a subsequent run() can continue.
-                heapq.heappush(heap, (time, _seq, process, value))
-                self.now = until
-                return self.now
-            self.now = time
-            self.n_events_processed += 1
-            self._step(process, value)
-            if self._halted is not None:
-                break
+        ready = self._ready
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        heapreplace = heapq.heapreplace
+        next_seq = self._seq.__next__
+        compute_kind = DelayKind.COMPUTE
+        overhead_kind = DelayKind.OVERHEAD
+        horizon = _INF if until is None else until
+        now = self.now
+        n_done = 0
+        try:
+            while True:
+                # -- tight lane: heap-sourced event, ready deque empty --
+                # The dominant regime (pure delay-driven phases), taken
+                # only for horizon-free runs (``until=None`` — every
+                # model execution; bounded runs use the general lane).
+                # Kept free of the merge logic, the from_heap flag and
+                # the horizon compare; exits via IndexError on heap
+                # exhaustion and falls back to the general lane the
+                # moment anything lands in the ready deque.  Heap-sourced
+                # events are *peeked*: the root entry stays put (it
+                # remains the minimum — see the lazy-root invariant
+                # above) and is replaced/popped only when the resume
+                # resolves.
+                if until is None:
+                    while not ready:
+                        try:
+                            # The only statement this handler guards:
+                            # IndexError here means the heap drained.
+                            # Exceptions from process code cannot reach
+                            # it — they are wrapped as ProcessFailure at
+                            # the send() call below.
+                            t, _seq, process, value = heap[0]
+                        except IndexError:
+                            break
+                        if t != now:
+                            # Times cluster heavily (lockstep delays,
+                            # barrier releases): skip the attribute
+                            # store when the clock does not move.
+                            now = self.now = t
+                        n_done += 1
+                        # No liveness check here: every queue entry
+                        # references an alive process (death paths —
+                        # StopIteration and ProcessFailure — consume
+                        # the process's only pending entry, and
+                        # triggers only ever wake blocked waiters).
+                        while True:
+                            try:
+                                command = process.send(value)
+                            except StopIteration as stop:
+                                heappop(heap)
+                                self._finish(process, stop.value)
+                                break
+                            except ProcessFailure:
+                                heappop(heap)
+                                raise
+                            except BaseException as exc:  # noqa: BLE001
+                                heappop(heap)
+                                process.alive = False
+                                process.end_time = now
+                                raise ProcessFailure(process, exc) from exc
+
+                            if command.__class__ is Delay:
+                                # Fast path: the most common command.
+                                duration = command.duration
+                                kind = command.kind
+                                if kind is compute_kind:
+                                    process.compute_time += duration
+                                elif kind is overhead_kind:
+                                    process.overhead_time += duration
+                                else:
+                                    process.idle_time += duration
+                                if duration == 0.0:
+                                    # Zero delays resume inline: cheap
+                                    # and keeps event counts
+                                    # proportional to *time-consuming*
+                                    # actions.
+                                    value = None
+                                    continue
+                                heapreplace(
+                                    heap,
+                                    (now + duration, next_seq(), process, None),
+                                )
+                                break
+                            if command.__class__ is SimEvent:
+                                if command._sim is None:
+                                    command._sim = self
+                                if command.triggered:
+                                    value = command.value
+                                    continue
+                                command._waiters.append(process)
+                                heappop(heap)
+                                break
+                            # Uncommon commands (Spawn/Halt/subclasses):
+                            # shared slow-path interpreter.
+                            value = self._interpret_uncommon(
+                                process, command, True
+                            )
+                            if value is _BLOCKED:
+                                break
+
+                # -- general lane: merge ready deque and heap ----------
+                # Every ready entry sits at the current time, so a heap
+                # entry wins only when it is also due now with a smaller
+                # sequence number.
+                if ready:
+                    head = heap[0] if heap else None
+                    if head is not None and head[0] <= now and head[1] < ready[0][0]:
+                        from_heap = True
+                        t, _seq, process, value = head
+                        now = self.now = t
+                    else:
+                        from_heap = False
+                        _seq, process, value = ready.popleft()
+                elif heap:
+                    t, _seq, process, value = heap[0]
+                    if t > horizon:
+                        self.now = until
+                        return until
+                    from_heap = True
+                    now = self.now = t
+                else:
+                    break
+                n_done += 1
+                if not process.alive:
+                    if from_heap:
+                        heappop(heap)
+                    continue
+
+                # -- interpret the process's next command(s) -----------
+                while True:
+                    try:
+                        command = process.send(value)
+                    except StopIteration as stop:
+                        if from_heap:
+                            heappop(heap)
+                        self._finish(process, stop.value)
+                        break
+                    except ProcessFailure:
+                        if from_heap:
+                            heappop(heap)
+                        raise
+                    except BaseException as exc:  # noqa: BLE001 - deliberate wrap
+                        if from_heap:
+                            heappop(heap)
+                        process.alive = False
+                        process.end_time = now
+                        raise ProcessFailure(process, exc) from exc
+
+                    cls = command.__class__
+                    if cls is Delay:
+                        # Fast path: by far the most common command.
+                        duration = command.duration
+                        kind = command.kind
+                        if kind is compute_kind:
+                            process.compute_time += duration
+                        elif kind is overhead_kind:
+                            process.overhead_time += duration
+                        else:
+                            process.idle_time += duration
+                        if duration == 0.0:
+                            # Zero delays resume inline: cheap and keeps
+                            # event counts proportional to
+                            # *time-consuming* actions.
+                            value = None
+                            continue
+                        if from_heap:
+                            heapreplace(
+                                heap, (now + duration, next_seq(), process, None)
+                            )
+                        else:
+                            heappush(heap, (now + duration, next_seq(), process, None))
+                        break
+                    if cls is SimEvent:
+                        if command._sim is None:
+                            command._sim = self
+                        if command.triggered:
+                            value = command.value
+                            continue
+                        command._waiters.append(process)
+                        if from_heap:
+                            heappop(heap)
+                        break
+                    # -- uncommon commands: shared slow-path dispatch --
+                    value = self._interpret_uncommon(process, command, from_heap)
+                    if value is _BLOCKED:
+                        break
+        except _HaltSignal:
+            pass
+        finally:
+            self.n_events_processed += n_done
         return self.now
+
+    def _interpret_uncommon(
+        self, process: Process, command: Any, from_heap: bool
+    ) -> Any:
+        """Handle Spawn/Halt/``Command`` subclasses from the run loop.
+
+        Returns the value to resume the process with, or :data:`_BLOCKED`
+        when the process yielded a pending resume (delay scheduled /
+        event wait) and interpretation of this event is over.  When
+        ``from_heap`` is true the current event's (stale) root entry is
+        consumed on every path that ends the resume.
+        """
+        code = _COMMAND_KINDS.get(command.__class__)
+        if code is None:
+            code = _resolve_command_kind(command.__class__)
+        if code == _KIND_DELAY:
+            process._account(command)
+            if command.duration == 0.0:
+                return None
+            entry = (self.now + command.duration, next(self._seq), process, None)
+            if from_heap:
+                heapq.heapreplace(self._heap, entry)
+            else:
+                heapq.heappush(self._heap, entry)
+            return _BLOCKED
+        if code == _KIND_EVENT:
+            if command._sim is None:
+                command.bind(self)
+            if command.triggered:
+                return command.value
+            command.add_waiter(process)
+            if from_heap:
+                heapq.heappop(self._heap)
+            return _BLOCKED
+        if code == _KIND_SPAWN:
+            return self.spawn(command.factory(), name=command.name)
+        if code == _KIND_HALT:
+            if from_heap:
+                heapq.heappop(self._heap)
+            self._halted = command.reason or "halted"
+            raise _HaltSignal()
+        if from_heap:
+            heapq.heappop(self._heap)
+        raise TypeError(
+            f"process {process.name!r} yielded unsupported command "
+            f"{command!r} of type {type(command).__name__}"
+        )
 
     @property
     def halted_reason(self) -> Optional[str]:
@@ -197,16 +524,29 @@ class Simulator:
     # engine internals
     # ------------------------------------------------------------------
     def _schedule_resume(self, process: Process, value: Any, delay: float = 0.0) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, process, value))
+        if delay == 0.0:
+            # Fast lane: resumes at the current time keep FIFO order, so
+            # a deque append replaces an O(log n) heap push.
+            self._ready.append((next(self._seq), process, value))
+        else:
+            heapq.heappush(
+                self._heap, (self.now + delay, next(self._seq), process, value)
+            )
 
     def _step(self, process: Process, value: Any) -> None:
-        """Resume ``process`` with ``value`` and interpret its next command."""
+        """Resume ``process`` with ``value`` and interpret its next command.
+
+        Compatibility shim: the hot loop in :meth:`run` inlines this
+        logic; ``_step`` remains for callers that drive one resume at a
+        time (debuggers, tests).  Unlike :meth:`run` it schedules
+        through :meth:`_schedule_resume` and never touches heap entries
+        of other events.
+        """
         if not process.alive:
             return
         while True:
             try:
-                command = process.gen.send(value)
+                command = process.send(value)
             except StopIteration as stop:
                 self._finish(process, stop.value)
                 return
@@ -217,16 +557,17 @@ class Simulator:
                 process.end_time = self.now
                 raise ProcessFailure(process, exc) from exc
 
-            if type(command) is Delay or isinstance(command, Delay):
+            code = _COMMAND_KINDS.get(command.__class__)
+            if code is None:
+                code = _resolve_command_kind(command.__class__)
+            if code == _KIND_DELAY:
                 process._account(command)
                 if command.duration == 0.0:
-                    # Zero delays resume inline: cheap and keeps event
-                    # counts proportional to *time-consuming* actions.
                     value = None
                     continue
                 self._schedule_resume(process, None, command.duration)
                 return
-            if isinstance(command, SimEvent):
+            if code == _KIND_EVENT:
                 if command._sim is None:
                     command.bind(self)
                 if command.triggered:
@@ -234,11 +575,11 @@ class Simulator:
                     continue
                 command.add_waiter(process)
                 return
-            if isinstance(command, Spawn):
+            if code == _KIND_SPAWN:
                 child = self.spawn(command.factory(), name=command.name)
                 value = child
                 continue
-            if isinstance(command, Halt):
+            if code == _KIND_HALT:
                 self._halted = command.reason or "halted"
                 return
             raise TypeError(
@@ -248,9 +589,12 @@ class Simulator:
 
     def _finish(self, process: Process, result: Any) -> None:
         process.alive = False
+        process.finished = True
         process.result = result
         process.end_time = self.now
-        process.done.trigger(result)
+        done = process._done
+        if done is not None:
+            done.trigger(result)
 
 
 def _stable_hash(text: str) -> int:

@@ -60,19 +60,79 @@ class Delay(Command):
         return f"Delay({self.duration:.3e}, {self.kind.value})"
 
 
+# ---------------------------------------------------------------------------
+# interned Delay factories
+#
+# Delay objects are immutable in practice (the engine only reads them),
+# so the factory functions intern them per (kind, duration).  Simulated
+# runs yield the same handful of modelled costs (lock attempts, window
+# accesses, chunk-calculation overheads, per-iteration compute grains)
+# millions of times; returning a cached object skips an allocation and
+# ``__init__`` on the engine's hottest path.  Caches are bounded so
+# jittered one-off durations cannot grow them without limit — the
+# recurring constants are seen (and cached) first.
+# ---------------------------------------------------------------------------
+
+_INTERN_LIMIT = 4096
+_compute_cache: dict = {}
+_overhead_cache: dict = {}
+_timeout_cache: dict = {}
+
+
+def clear_delay_caches() -> None:
+    """Drop all interned Delay objects (tests / long-process hygiene)."""
+    _compute_cache.clear()
+    _overhead_cache.clear()
+    _timeout_cache.clear()
+
+
 def Compute(duration: float) -> Delay:
     """A delay accounted as useful computation (loop-iteration work)."""
-    return Delay(duration, DelayKind.COMPUTE)
+    cached = _compute_cache.get(duration)
+    if cached is not None:
+        return cached
+    delay = Delay(duration, DelayKind.COMPUTE)
+    if len(_compute_cache) < _INTERN_LIMIT:
+        _compute_cache[duration] = delay
+    return delay
 
 
 def Overhead(duration: float) -> Delay:
     """A delay accounted as scheduling/communication overhead."""
-    return Delay(duration, DelayKind.OVERHEAD)
+    cached = _overhead_cache.get(duration)
+    if cached is not None:
+        return cached
+    delay = Delay(duration, DelayKind.OVERHEAD)
+    if len(_overhead_cache) < _INTERN_LIMIT:
+        _overhead_cache[duration] = delay
+    return delay
 
 
 def Timeout(duration: float) -> Delay:
     """A delay accounted as idle time (pure waiting)."""
-    return Delay(duration, DelayKind.IDLE)
+    cached = _timeout_cache.get(duration)
+    if cached is not None:
+        return cached
+    delay = Delay(duration, DelayKind.IDLE)
+    if len(_timeout_cache) < _INTERN_LIMIT:
+        _timeout_cache[duration] = delay
+    return delay
+
+
+def ComputeOnce(duration: float) -> Delay:
+    """A compute delay that bypasses the intern cache.
+
+    For effectively-unique durations — noise-jittered chunk execution
+    times — where caching would only fill the bounded intern tables
+    with keys that never recur, crowding out the genuinely repeating
+    constants.
+    """
+    return Delay(duration, DelayKind.COMPUTE)
+
+
+def OverheadOnce(duration: float) -> Delay:
+    """An overhead delay that bypasses the intern cache (see ComputeOnce)."""
+    return Delay(duration, DelayKind.OVERHEAD)
 
 
 class SimEvent(Command):

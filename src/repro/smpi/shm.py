@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Dict
 
-from repro.sim.primitives import Overhead
+from repro.sim.primitives import Overhead, OverheadOnce
 from repro.sim.resources import Lock
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -80,14 +80,14 @@ class SharedWindow:
                 break
             wait = mpi.shm_poll_interval * float(self._rng.uniform(0.5, 1.5))
             self.total_poll_wait += wait
-            yield Overhead(wait)
+            yield OverheadOnce(wait)  # jittered: unique per retry, skip interning
         self.n_attempts += attempts
         self.n_acquisitions += 1
         self.max_attempts_per_acquire = max(self.max_attempts_per_acquire, attempts)
 
     def unlock(self, ctx: "RankCtx"):
         """``MPI_Win_unlock``."""
-        self._require_held()
+        self._require_held(ctx)
         yield Overhead(self.world.costs.mpi.shm_unlock)
         self._lock.release()
 
@@ -100,26 +100,38 @@ class SharedWindow:
     def locked(self) -> bool:
         return self._lock.locked
 
-    def _require_held(self) -> None:
+    def _require_held(self, ctx: "RankCtx") -> None:
+        """The *calling rank* must own the exclusive lock.
+
+        Merely checking that the lock is held is not enough: rank A
+        mutating the window while rank B holds the lock is exactly the
+        data race ``MPI_Win_lock`` exists to prevent.
+        """
         if not self._lock.locked:
             raise RuntimeError(
                 f"shared window on node {self.node} accessed without holding "
                 "MPI_Win_lock — this is a data race"
+            )
+        owner = f"rank{ctx.rank}"
+        if self._lock.owner != owner:
+            raise RuntimeError(
+                f"shared window on node {self.node} accessed by {owner} while "
+                f"{self._lock.owner} holds MPI_Win_lock — this is a data race"
             )
 
     # ------------------------------------------------------------------
     # data access (cheap, but must hold the lock)
     # ------------------------------------------------------------------
     def load(self, ctx: "RankCtx", cell: str):
-        """Read one named cell (generator; requires the lock)."""
-        self._require_held()
+        """Read one named cell (generator; requires the calling rank's lock)."""
+        self._require_held(ctx)
         self._check_cell(cell)
         yield Overhead(self.world.costs.mpi.shm_access)
         return self.cells[cell]
 
     def store(self, ctx: "RankCtx", cell: str, value: int):
-        """Write one named cell (generator; requires the lock)."""
-        self._require_held()
+        """Write one named cell (generator; requires the calling rank's lock)."""
+        self._require_held(ctx)
         self._check_cell(cell)
         yield Overhead(self.world.costs.mpi.shm_access)
         self.cells[cell] = value
@@ -131,7 +143,7 @@ class SharedWindow:
         objects; models mutate them directly but must account the
         touches through this method (and hold the lock).
         """
-        self._require_held()
+        self._require_held(ctx)
         yield Overhead(n * self.world.costs.mpi.shm_access)
 
     def atomic_fetch_add(self, ctx: "RankCtx", cell: str, value: int):

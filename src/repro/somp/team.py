@@ -30,7 +30,7 @@ from repro.core.technique_base import ChunkCalculator, ceil_div
 from repro.core.techniques import get_technique
 from repro.core import trace as trace_mod
 from repro.sim.engine import Process, Simulator
-from repro.sim.primitives import Command, Compute, Overhead, SimEvent
+from repro.sim.primitives import Command, Compute, ComputeOnce, Overhead, SimEvent
 from repro.sim.resources import Barrier, Lock
 from repro.somp.schedule import ScheduleSpec
 
@@ -293,7 +293,7 @@ class OmpTeam:
     def _execute(self, phase: _Phase, tid: int, abs_start: int, size: int):
         duration = phase.body_time(abs_start, size, tid)
         t0 = self.sim.now
-        yield Compute(duration)
+        yield ComputeOnce(duration)  # jittered: unique per chunk, skip interning
         phase.executed += size
         phase.executed_per_thread[tid] = (
             phase.executed_per_thread.get(tid, 0) + size

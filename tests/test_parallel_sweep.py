@@ -1,0 +1,162 @@
+"""Tests for the parallel sweep + content-addressed cell cache.
+
+The hard guarantees of :mod:`repro.experiments.parallel`:
+
+* a ``jobs=N`` sweep returns results identical to the serial sweep,
+  cell for cell (``wall_seconds`` excepted — it measures the host);
+* a second sweep against the same ``cache_dir`` runs zero simulations
+  yet returns equal cells;
+* changing the seed or the workload invalidates the cache cleanly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import APPROACHES, run_figure
+from repro.experiments.harness import Cell, GridRunner
+from repro.experiments.parallel import CellCache, cell_key, workload_fingerprint
+from repro.experiments.workloads import figure_workload
+from repro.cluster.machine import minihpc
+from repro.workloads.base import Workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return figure_workload("mandelbrot", "tiny")
+
+
+def sweep(workload, jobs=1, cache_dir=None, seed=0, intras=("STATIC", "SS", "GSS")):
+    runner = GridRunner(
+        workload=workload,
+        ppn=4,
+        node_counts=(2, 4),
+        seed=seed,
+        jobs=jobs,
+        cache_dir=str(cache_dir) if cache_dir is not None else None,
+    )
+    cells = runner.sweep("GSS", intras, APPROACHES)
+    return cells, runner.last_sweep_stats
+
+
+# ---------------------------------------------------------------------------
+# determinism: parallel == serial
+# ---------------------------------------------------------------------------
+def test_parallel_sweep_identical_to_serial(workload):
+    serial, _ = sweep(workload, jobs=1)
+    parallel, stats = sweep(workload, jobs=4)
+    assert stats["simulated"] == len(parallel) == len(serial)
+    for a, b in zip(serial, parallel):
+        assert a.same_result(b), f"parallel cell diverged: {a} vs {b}"
+        # everything except wall_seconds must be byte-identical
+        da, db = a.to_dict(), b.to_dict()
+        da.pop("wall_seconds"), db.pop("wall_seconds")
+        assert da == db
+
+
+def test_figure_parallel_identical_to_serial():
+    """The CLI path: ``repro figure --id fig5a --jobs 4`` == serial."""
+    serial = run_figure("fig5a", scale="tiny", node_counts=(2,), jobs=1)
+    parallel = run_figure("fig5a", scale="tiny", node_counts=(2,), jobs=4)
+    assert len(serial.cells) == len(parallel.cells) > 0
+    for a, b in zip(serial.cells, parallel.cells):
+        assert a.same_result(b)
+
+
+# ---------------------------------------------------------------------------
+# cache behaviour
+# ---------------------------------------------------------------------------
+def test_second_sweep_served_entirely_from_cache(workload, tmp_path):
+    first, stats1 = sweep(workload, jobs=2, cache_dir=tmp_path)
+    assert stats1["simulated"] == len(first)
+    assert stats1["cache_hits"] == 0
+
+    second, stats2 = sweep(workload, jobs=2, cache_dir=tmp_path)
+    assert stats2["simulated"] == 0, "second sweep must run zero simulations"
+    assert stats2["cache_hits"] == len(second)
+    for a, b in zip(first, second):
+        assert a.same_result(b)
+
+
+def test_cache_hits_equal_across_serial_and_parallel(workload, tmp_path):
+    first, _ = sweep(workload, jobs=1, cache_dir=tmp_path)
+    cached, stats = sweep(workload, jobs=4, cache_dir=tmp_path)
+    assert stats["simulated"] == 0
+    for a, b in zip(first, cached):
+        assert a.same_result(b)
+
+
+def test_cache_invalidated_by_seed_change(workload, tmp_path):
+    _, stats0 = sweep(workload, cache_dir=tmp_path, seed=0)
+    _, stats1 = sweep(workload, cache_dir=tmp_path, seed=1)
+    assert stats1["simulated"] == stats1["cells"], "new seed must miss the cache"
+
+
+def test_cache_invalidated_by_workload_change(workload, tmp_path):
+    _, stats0 = sweep(workload, cache_dir=tmp_path)
+    rescaled = workload.scaled_to(workload.total_cost * 2.0)
+    _, stats1 = sweep(rescaled, cache_dir=tmp_path)
+    assert stats1["simulated"] == stats1["cells"], "new costs must miss the cache"
+
+
+def test_cache_rejects_corrupt_entries(workload, tmp_path):
+    cells, _ = sweep(workload, cache_dir=tmp_path)
+    for path in tmp_path.glob("*.json"):
+        path.write_text("{not json")
+    again, stats = sweep(workload, cache_dir=tmp_path)
+    assert stats["simulated"] == stats["cells"]
+    for a, b in zip(cells, again):
+        assert a.same_result(b)
+
+
+# ---------------------------------------------------------------------------
+# keys and serialization
+# ---------------------------------------------------------------------------
+def test_cell_dict_roundtrip():
+    cell = Cell(
+        approach="mpi+mpi",
+        inter="GSS",
+        intra="SS",
+        nodes=4,
+        time=1.25,
+        overhead_fraction=0.1,
+        idle_fraction=0.05,
+        cov=0.3,
+        n_events=12345,
+        wall_seconds=0.7,
+    )
+    assert Cell.from_dict(cell.to_dict()) == cell
+
+
+def test_workload_fingerprint_tracks_costs():
+    a = Workload("w", np.array([1.0, 2.0, 3.0]))
+    b = Workload("w", np.array([1.0, 2.0, 3.0]))
+    c = Workload("w", np.array([1.0, 2.0, 3.0001]))
+    d = Workload("w2", np.array([1.0, 2.0, 3.0]))
+    assert workload_fingerprint(a) == workload_fingerprint(b)
+    assert workload_fingerprint(a) != workload_fingerprint(c)
+    assert workload_fingerprint(a) != workload_fingerprint(d)
+
+
+def test_cell_key_distinguishes_every_input(workload):
+    fp = workload_fingerprint(workload)
+    cluster = minihpc(2, 4)
+    base = cell_key(fp, cluster, "mpi+mpi", "GSS", "SS", 2, 4, 0)
+    assert base == cell_key(fp, cluster, "mpi+mpi", "GSS", "SS", 2, 4, 0)
+    variants = [
+        cell_key(fp, cluster, "mpi+openmp", "GSS", "SS", 2, 4, 0),
+        cell_key(fp, cluster, "mpi+mpi", "TSS", "SS", 2, 4, 0),
+        cell_key(fp, cluster, "mpi+mpi", "GSS", "STATIC", 2, 4, 0),
+        cell_key(fp, cluster, "mpi+mpi", "GSS", "SS", 4, 4, 0),
+        cell_key(fp, cluster, "mpi+mpi", "GSS", "SS", 2, 8, 0),
+        cell_key(fp, cluster, "mpi+mpi", "GSS", "SS", 2, 4, 7),
+        cell_key(fp, minihpc(4, 4), "mpi+mpi", "GSS", "SS", 2, 4, 0),
+    ]
+    assert len({base, *variants}) == len(variants) + 1
+
+
+def test_cell_cache_len_and_version_guard(workload, tmp_path):
+    cache = CellCache(str(tmp_path))
+    assert len(cache) == 0
+    cells, _ = sweep(workload, cache_dir=tmp_path)
+    cache = CellCache(str(tmp_path))
+    assert len(cache) == len(cells)

@@ -289,6 +289,176 @@ def test_trace_callback_receives_emits():
     assert records == [(1.0, "proc", "did-something")]
 
 
+def test_interned_delay_factories_reuse_objects():
+    """Compute/Overhead/Timeout intern per (kind, duration) — the engine
+    hot path sees the same handful of modelled costs millions of times."""
+    from repro.sim.primitives import clear_delay_caches
+
+    clear_delay_caches()  # earlier tests may have filled the bounded caches
+    assert Compute(1e-6) is Compute(1e-6)
+    assert Overhead(5e-6) is Overhead(5e-6)
+    assert Timeout(2e-6) is Timeout(2e-6)
+    assert Compute(1e-6) is not Overhead(1e-6)
+    assert Compute(1e-6).duration == 1e-6
+
+
+def test_mixed_ready_and_heap_order_is_seq_exact():
+    """Zero-delay resumes (ready deque) and timed resumes (heap) must
+    interleave in exact (time, seq) order at equal timestamps."""
+    sim = Simulator()
+    order = []
+    gate = sim.event("gate")
+
+    def sleeper(name, dt):
+        yield Compute(dt)
+        order.append(name)
+
+    def waiter():
+        yield gate
+        order.append("waiter")
+
+    def firer():
+        yield Compute(1.0)
+        order.append("firer")
+        gate.trigger()
+
+    # heap entry for "late" (t=1.0) is scheduled before the waiter's
+    # trigger-resume (t=1.0, later seq) — heap must win the tie.
+    sim.spawn(sleeper("late", 1.0))
+    sim.spawn(waiter())
+    sim.spawn(firer())
+    sim.run()
+    assert order == ["late", "firer", "waiter"]
+
+
+def test_halt_from_zero_delay_phase():
+    """Halt raised out of the ready-deque lane still stops cleanly."""
+    sim = Simulator()
+
+    def stopper():
+        yield Compute(0.0)
+        yield Halt("early")
+
+    def runner():
+        yield Compute(5.0)
+
+    sim.spawn(stopper())
+    p = sim.spawn(runner())
+    sim.run()
+    assert sim.halted_reason == "early"
+    assert sim.now == 0.0
+    assert p.alive
+    sim._halted = None
+    sim.run()
+    assert not p.alive
+
+
+def test_run_until_then_trigger_then_continue():
+    """Pausing at `until`, triggering an event, and resuming preserves
+    both the pending heap entry and the new ready entry."""
+    sim = Simulator()
+    gate = sim.event()
+    seen = []
+
+    def sleeper():
+        yield Compute(10.0)
+        seen.append("slept")
+
+    def waiter():
+        yield gate
+        seen.append("woken")
+
+    sim.spawn(sleeper())
+    sim.spawn(waiter())
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+    gate.trigger()
+    sim.run()
+    assert seen == ["woken", "slept"]
+    assert sim.now == 10.0
+
+
+def test_done_event_lazy_after_termination():
+    """Accessing .done after a process finished yields a pre-triggered
+    event carrying the result."""
+    sim = Simulator()
+
+    def worker():
+        yield Compute(1.0)
+        return 99
+
+    p = sim.spawn(worker())
+    sim.run()
+    got = []
+
+    def late_waiter():
+        value = yield p.done
+        got.append(value)
+
+    sim.spawn(late_waiter())
+    sim.run()
+    assert got == [99]
+
+
+def test_spawn_factory_index_error_propagates():
+    """An IndexError raised by a Spawn factory must surface, not be
+    mistaken for heap exhaustion by the run loop."""
+    sim = Simulator()
+    bodies = []
+
+    def parent():
+        yield Compute(1.0)
+        yield Spawn(lambda: bodies[5], name="child")  # IndexError
+
+    sim.spawn(parent(), name="parent")
+    with pytest.raises(IndexError):
+        sim.run()
+
+
+def test_done_after_crash_is_not_pretriggered():
+    """A crashed process must not report successful completion through
+    a lazily-created done event."""
+    sim = Simulator()
+
+    def bad():
+        yield Compute(1.0)
+        raise ValueError("boom")
+
+    p = sim.spawn(bad(), name="bad")
+    with pytest.raises(ProcessFailure):
+        sim.run()
+    assert not p.alive
+    assert not p.finished
+    assert p.done.triggered is False  # late access: still pending
+
+
+def test_compute_once_bypasses_interning():
+    from repro.sim.primitives import ComputeOnce, OverheadOnce
+
+    a, b = ComputeOnce(1e-6), ComputeOnce(1e-6)
+    assert a is not b
+    assert a.duration == b.duration == 1e-6
+    assert OverheadOnce(2e-6).kind.value == "overhead"
+
+
+def test_custom_command_subclasses_still_dispatch():
+    """Delay/SimEvent subclasses go through the memoised dispatch table."""
+    sim = Simulator()
+
+    class MyDelay(Delay):
+        pass
+
+    def proc():
+        yield MyDelay(2.0)
+        return "ok"
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert p.result == "ok"
+    assert sim.now == 2.0
+    assert p.overhead_time == pytest.approx(2.0)
+
+
 def test_yield_from_subroutines_bubble_commands():
     sim = Simulator()
     log = []

@@ -70,6 +70,48 @@ def test_store_requires_lock_too():
         world.run(main)
 
 
+def test_access_requires_lock_ownership_not_just_held():
+    """Rank B mutating the window while rank A holds the lock is a data
+    race even though *a* lock is held — the ownership check must compare
+    against the calling rank."""
+    world = make_world()
+    shm = world.create_shared_window(0, {"c": 0})
+
+    def main(ctx):
+        if ctx.rank == 0:
+            yield from shm.lock(ctx)
+            yield Compute(1e-3)  # hold the lock while rank 1 intrudes
+            yield from shm.unlock(ctx)
+        elif ctx.rank == 1:
+            yield Compute(1e-4)  # let rank 0 acquire first
+            assert shm.locked  # held — but not by us
+            yield from shm.store(ctx, "c", 42)
+        else:
+            yield Compute(0.0)
+
+    with pytest.raises(ProcessFailure, match="rank1 while rank0 holds"):
+        world.run(main)
+
+
+def test_unlock_requires_ownership():
+    world = make_world()
+    shm = world.create_shared_window(0, {"c": 0})
+
+    def main(ctx):
+        if ctx.rank == 0:
+            yield from shm.lock(ctx)
+            yield Compute(1e-3)
+            yield from shm.unlock(ctx)
+        elif ctx.rank == 1:
+            yield Compute(1e-4)
+            yield from shm.unlock(ctx)  # not ours to release
+        else:
+            yield Compute(0.0)
+
+    with pytest.raises(ProcessFailure, match="data race"):
+        world.run(main)
+
+
 def test_contention_inflates_poll_wait_and_attempts():
     """Under contention the polling model must show (a) retries and
     (b) nonzero poll wait — the root cause of the paper's X+SS result."""

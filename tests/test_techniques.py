@@ -465,3 +465,49 @@ def test_verify_schedule_accepts_out_of_order():
 def test_chunk_sizes_in_step_order():
     chunks = [Chunk(1, 5, 5), Chunk(0, 0, 5)]
     assert chunk_sizes(chunks) == [5, 5]
+
+
+# ---------------------------------------------------------------------------
+# memoised sequence materialisation
+# ---------------------------------------------------------------------------
+def test_sequence_memoised_across_calculators():
+    """Two calculators over the same (technique, n, p) share one
+    materialised sequence array (the figure-sweep hot path)."""
+    from repro.core.technique_base import clear_sequence_cache
+
+    clear_sequence_cache()
+    a = get_technique("GSS").make(10_000, 16)
+    b = get_technique("GSS").make(10_000, 16)
+    assert a.sequence() == b.sequence()
+    a.total_steps()
+    b.total_steps()
+    assert a._sizes_arr is b._sizes_arr  # shared from the global memo
+
+
+def test_memoised_sequence_profile_sensitive():
+    from repro.core import IterationProfile
+
+    p1 = IterationProfile(mu=1.0, sigma=0.5)
+    p2 = IterationProfile(mu=1.0, sigma=2.0)
+    a = get_technique("FAC").make(10_000, 8, profile=p1)
+    b = get_technique("FAC").make(10_000, 8, profile=p2)
+    assert a.sequence() != b.sequence()
+    sum_a, sum_b = sum(a.sequence()), sum(b.sequence())
+    assert sum_a == sum_b == 10_000
+
+
+def test_step_of_inverts_start_at():
+    calc = get_technique("TSS").make(5_000, 8)
+    for step in range(calc.total_steps()):
+        start = calc.start_at(step)
+        assert calc.step_of(start) == step
+        end = start + calc.size_at(step) - 1
+        assert calc.step_of(end) == step
+    with pytest.raises(TechniqueError):
+        calc.step_of(5_000)
+
+
+def test_step_of_rejects_adaptive():
+    calc = get_technique("AF").make(100, 4)
+    with pytest.raises(TechniqueError, match="undefined"):
+        calc.step_of(0)
