@@ -77,6 +77,37 @@ def collect(rounds: int = 30) -> Dict[str, Dict[str, float]]:
     stats = _time_best(chunk_calc_memoised, rounds)
     results["gss_chunk_calculation_memoised"] = stats
 
+    # Hierarchical depth on a wide node: a fine-grained leaf (SS) makes
+    # every worker hammer its local queue's lock.  With one flat node
+    # queue all 16 workers poll one lock; splitting the node into 4
+    # socket queues (depth 3) divides the requesters per lock by 4.
+    # The simulated total poll wait is the paper-level result; the wall
+    # time tracks the event count the contention generates.
+    from repro.api import run_hierarchical
+    from repro.cluster.machine import homogeneous
+    from repro.workloads import uniform_workload
+
+    wl = uniform_workload(2000, low=5e-5, high=5e-4, seed=5)
+    hier_rounds = max(5, rounds // 3)
+
+    def run_stack(stack: str, sockets: int):
+        return run_hierarchical(
+            wl, homogeneous(1, 16, sockets_per_node=sockets),
+            inter=stack, approach="mpi+mpi", ppn=16, seed=0,
+            collect_chunks=False,
+        )
+
+    for key, stack, sockets in (
+        ("mpi_mpi_wide_node_two_level", "GSS+SS", 1),
+        ("mpi_mpi_wide_node_three_level_sockets", "GSS+FAC2+SS", 4),
+    ):
+        stats = _time_best(lambda: run_stack(stack, sockets), hier_rounds)
+        result = run_stack(stack, sockets)
+        stats["simulated_poll_wait_s"] = result.counters["total_poll_wait"]
+        stats["lock_acquisitions"] = result.counters["lock_acquisitions"]
+        stats["simulated_parallel_time_s"] = result.parallel_time
+        results[key] = stats
+
     return results
 
 

@@ -50,7 +50,7 @@ def run_hierarchical(
     workload: "Workload",
     cluster: "ClusterSpec",
     inter: Union[str, Any],
-    intra: Union[str, Any],
+    intra: Union[str, Any, None] = None,
     approach: str = "mpi+mpi",
     ppn: Optional[int] = None,
     seed: int = 0,
@@ -70,7 +70,12 @@ def run_hierarchical(
         Machine description (e.g. :func:`repro.cluster.minihpc`).
     inter / intra:
         Technique names or :class:`~repro.core.technique_base.Technique`
-        instances for the two scheduling levels (the paper's ``X+Y``).
+        instances for the scheduling levels (the paper's ``X+Y``).
+        Either argument may itself be a ``+``-joined stack — the level
+        stack is the concatenation of both, so ``inter="GSS",
+        intra="FAC2+STATIC"`` and ``inter="GSS+FAC2+STATIC"`` (with
+        ``intra`` omitted) both produce the same three-level
+        cluster -> node -> socket -> core configuration.
     approach:
         ``"mpi+mpi"`` (paper's contribution), ``"mpi+openmp"``
         (baseline), ``"flat-mpi"`` or ``"master-worker"`` (ablations).
@@ -89,9 +94,11 @@ def run_hierarchical(
     RunResult
         With ``.parallel_time``, ``.metrics``, ``.chunks``, ``.trace``.
     """
-    from repro.core.hierarchy import HierarchicalSpec
+    from repro.core.hierarchy import HierarchicalSpec, split_stack
 
-    spec = HierarchicalSpec.of(inter, intra, **spec_kwargs)
+    spec = HierarchicalSpec.of_levels(
+        *split_stack(inter), *split_stack(intra), **spec_kwargs
+    )
     model = _resolve_model(approach)
     return model.run(
         workload=workload,

@@ -11,6 +11,10 @@ Examples::
     repro ablation --id lockpoll           # A-1 .. A-4
     repro run --app mandelbrot --inter GSS --intra STATIC \
               --approach mpi+mpi --nodes 4   # one simulated execution
+    repro run --techniques GSS+FAC2+STATIC --sockets 2 --nodes 4 \
+              --ppn 16                       # three-level stack
+              # (GSS across nodes, FAC2 across each node's sockets,
+              #  STATIC across each socket's cores)
 """
 
 from __future__ import annotations
@@ -113,11 +117,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.workloads import figure_workload
 
     workload = figure_workload(args.app, args.scale or "quick")
+    if args.techniques is not None:
+        # full ``+``-joined stack, any depth (overrides --inter/--intra)
+        inter, intra = args.techniques, None
+    else:
+        inter, intra = args.inter, args.intra
     result = run_hierarchical(
         workload,
-        minihpc(args.nodes, args.ppn),
-        inter=args.inter,
-        intra=args.intra,
+        minihpc(args.nodes, args.ppn, sockets_per_node=args.sockets),
+        inter=inter,
+        intra=intra,
         approach=args.approach,
         ppn=args.ppn,
         seed=args.seed,
@@ -190,7 +199,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--approach", default="mpi+mpi")
     p.add_argument("--inter", default="GSS")
     p.add_argument("--intra", default="STATIC")
+    p.add_argument("--techniques", default=None, metavar="X+Y[+Z]",
+                   help="full scheduling stack, one technique per level "
+                        "(e.g. GSS+FAC2+STATIC schedules nodes, then each "
+                        "node's sockets, then each socket's cores); "
+                        "overrides --inter/--intra")
     p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--sockets", type=int, default=1,
+                   help="sockets per node (the machine tier a 3-level "
+                        "stack schedules at)")
     p.add_argument("--ppn", type=int, default=16)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--scale", default=None,

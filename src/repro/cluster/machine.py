@@ -20,12 +20,19 @@ class NodeSpec:
         Relative speed multiplier of this node's cores (1.0 = nominal).
         A workload iteration with nominal cost ``c`` takes ``c /
         (core_speed * per-core factor)`` seconds here.
+    sockets:
+        Number of CPU sockets (NUMA domains); cores are split evenly
+        across them, so ``cores`` must be a multiple of ``sockets``.
+        The socket tier sits between node and core for three-level
+        scheduling stacks (``X+Y+Z``); the default of 1 reproduces the
+        paper's two-tier machine model.
     name:
         Diagnostic label.
     """
 
     cores: int
     core_speed: float = 1.0
+    sockets: int = 1
     name: str = "node"
 
     def __post_init__(self) -> None:
@@ -33,6 +40,23 @@ class NodeSpec:
             raise ValueError(f"node must have >= 1 core, got {self.cores}")
         if self.core_speed <= 0:
             raise ValueError(f"core_speed must be > 0, got {self.core_speed}")
+        if self.sockets < 1:
+            raise ValueError(f"node must have >= 1 socket, got {self.sockets}")
+        if self.cores % self.sockets != 0:
+            raise ValueError(
+                f"{self.cores} cores do not split evenly over "
+                f"{self.sockets} sockets"
+            )
+
+    @property
+    def cores_per_socket(self) -> int:
+        return self.cores // self.sockets
+
+    def socket_of_core(self, core: int) -> int:
+        """Socket housing ``core`` (cores are numbered socket-contiguously)."""
+        if not 0 <= core < self.cores:
+            raise ValueError(f"core {core} outside node of {self.cores} cores")
+        return core // self.cores_per_socket
 
 
 @dataclass(frozen=True)
@@ -66,6 +90,31 @@ class ClusterSpec:
     def total_cores(self) -> int:
         return sum(node.cores for node in self.nodes)
 
+    @property
+    def sockets_per_node(self) -> int:
+        """Common socket count, for uniform clusters.
+
+        Raises on mixed-socket clusters — iterate ``nodes`` there.
+        """
+        counts = {node.sockets for node in self.nodes}
+        if len(counts) != 1:
+            raise ValueError(
+                f"cluster has mixed socket counts {sorted(counts)}; "
+                "read NodeSpec.sockets per node"
+            )
+        return counts.pop()
+
+    @property
+    def cores_per_socket(self) -> int:
+        """Common cores-per-socket, for uniform clusters (raises on mixed)."""
+        counts = {node.cores_per_socket for node in self.nodes}
+        if len(counts) != 1:
+            raise ValueError(
+                f"cluster has mixed cores-per-socket {sorted(counts)}; "
+                "read NodeSpec.cores_per_socket per node"
+            )
+        return counts.pop()
+
     def node_of(self, index: int) -> NodeSpec:
         return self.nodes[index]
 
@@ -94,10 +143,16 @@ def homogeneous(
     network_latency: float = 1.1e-6,
     network_bandwidth: float = 12.5e9,
     name: str = "cluster",
+    sockets_per_node: int = 1,
 ) -> ClusterSpec:
     """Build a homogeneous cluster spec."""
     nodes = tuple(
-        NodeSpec(cores=cores_per_node, core_speed=core_speed, name=f"{name}-n{i}")
+        NodeSpec(
+            cores=cores_per_node,
+            core_speed=core_speed,
+            sockets=sockets_per_node,
+            name=f"{name}-n{i}",
+        )
         for i in range(n_nodes)
     )
     return ClusterSpec(
@@ -108,7 +163,11 @@ def homogeneous(
     )
 
 
-def minihpc(n_nodes: int = 16, cores_per_node: int = 16) -> ClusterSpec:
+def minihpc(
+    n_nodes: int = 16,
+    cores_per_node: int = 16,
+    sockets_per_node: int = 1,
+) -> ClusterSpec:
     """The paper's testbed slice: up to 16 identical Xeon nodes.
 
     miniHPC nodes have 20 cores, but the evaluation runs 16 workers per
@@ -116,6 +175,11 @@ def minihpc(n_nodes: int = 16, cores_per_node: int = 16) -> ClusterSpec:
     MPI+OpenMP), so the default model exposes 16 worker cores.  The
     Omni-Path fabric is modelled as 1.1 us / 100 Gbit/s, distance
     independent (non-blocking fat tree).
+
+    The physical nodes are dual-socket Xeon E5-2640v4; pass
+    ``sockets_per_node=2`` to expose that tier for three-level
+    scheduling stacks.  The default of 1 keeps the paper's flat node
+    model (and the seed's exact behaviour) for two-level runs.
     """
     if not 1 <= n_nodes <= 16:
         raise ValueError("miniHPC has at most 16 identical Xeon nodes")
@@ -125,6 +189,7 @@ def minihpc(n_nodes: int = 16, cores_per_node: int = 16) -> ClusterSpec:
         network_latency=1.1e-6,
         network_bandwidth=12.5e9,
         name="miniHPC",
+        sockets_per_node=sockets_per_node,
     )
 
 
@@ -134,15 +199,20 @@ def heterogeneous(
     network_latency: float = 1.1e-6,
     network_bandwidth: float = 12.5e9,
     name: str = "hetero",
+    socket_counts: Optional[Sequence[int]] = None,
 ) -> ClusterSpec:
     """Build a heterogeneous cluster (used by WF/AWF tests and examples)."""
     if core_speeds is None:
         core_speeds = [1.0] * len(core_counts)
     if len(core_speeds) != len(core_counts):
         raise ValueError("core_counts and core_speeds must have equal length")
+    if socket_counts is None:
+        socket_counts = [1] * len(core_counts)
+    if len(socket_counts) != len(core_counts):
+        raise ValueError("core_counts and socket_counts must have equal length")
     nodes = tuple(
-        NodeSpec(cores=c, core_speed=s, name=f"{name}-n{i}")
-        for i, (c, s) in enumerate(zip(core_counts, core_speeds))
+        NodeSpec(cores=c, core_speed=s, sockets=k, name=f"{name}-n{i}")
+        for i, (c, s, k) in enumerate(zip(core_counts, core_speeds, socket_counts))
     )
     return ClusterSpec(
         nodes=nodes,

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.api import run_hierarchical
 from repro.cluster.machine import minihpc
+from repro.core.hierarchy import split_stack
 from repro.core.techniques import INTEL_OPENMP_SUPPORTED, PAPER_TECHNIQUES
 from repro.experiments.harness import Cell, GridRunner, series
 from repro.experiments.workloads import figure_workload, scale_from_env
@@ -23,14 +24,21 @@ from repro.experiments.workloads import figure_workload, scale_from_env
 APPROACHES: List[Tuple[str, Callable[[str], bool]]] = [
     # the Intel OpenMP runtime the paper used only provides
     # static/dynamic/guided, so MPI+OpenMP series exist only for those
-    ("mpi+openmp", lambda intra: intra in INTEL_OPENMP_SUPPORTED),
+    # leaf schedules (for ``+``-joined stacks the leaf is what the
+    # OpenMP ``schedule`` clause implements)
+    ("mpi+openmp", lambda intra: split_stack(intra)[-1] in INTEL_OPENMP_SUPPORTED),
     ("mpi+mpi", lambda intra: True),
 ]
 
 
 @dataclass(frozen=True)
 class FigureSpec:
-    """One paper figure: an application swept under one inter technique."""
+    """One paper figure: an application swept under one inter technique.
+
+    ``intras`` entries may be ``+``-joined stacks (three-level
+    scheduling); ``sockets_per_node`` exposes the machine tier those
+    stacks schedule at (1 = the paper's flat node model).
+    """
 
     figure_id: str
     paper_ref: str
@@ -39,13 +47,45 @@ class FigureSpec:
     intras: Tuple[str, ...] = PAPER_TECHNIQUES
     node_counts: Tuple[int, ...] = (2, 4, 8, 16)
     ppn: int = 16
+    sockets_per_node: int = 1
 
     @property
     def title(self) -> str:
+        suffix = (
+            f", {self.sockets_per_node} sockets/node"
+            if self.sockets_per_node > 1
+            else ""
+        )
         return (
             f"{self.paper_ref}: {self.app} with {self.inter} inter-node "
-            f"scheduling ({self.ppn} workers/node)"
+            f"scheduling ({self.ppn} workers/node{suffix})"
         )
+
+
+def socket_variant(
+    figure_id: str, sockets_per_node: int = 2, mid: str = "FAC2"
+) -> FigureSpec:
+    """Derive the three-level (X+mid+Y) variant of a paper figure.
+
+    Same application, inter technique and grid as the original, but on
+    ``sockets_per_node``-socket nodes (the physical miniHPC Xeons are
+    dual-socket) with ``mid`` scheduling each node's chunk across its
+    sockets: panel ``X+Y`` becomes ``X+mid+Y``.  Not part of the paper
+    — an extension sweep enabled by the arbitrary-depth hierarchy::
+
+        run_figure_spec(socket_variant("fig5a"))
+    """
+    base = FIGURES[figure_id]
+    return FigureSpec(
+        figure_id=f"{base.figure_id}-s{sockets_per_node}",
+        paper_ref=f"{base.paper_ref} ({sockets_per_node}-socket extension)",
+        app=base.app,
+        inter=base.inter,
+        intras=tuple(f"{mid}+{intra}" for intra in base.intras),
+        node_counts=base.node_counts,
+        ppn=base.ppn,
+        sockets_per_node=sockets_per_node,
+    )
 
 
 FIGURES: Dict[str, FigureSpec] = {}
@@ -237,13 +277,33 @@ def run_figure(
             intras=spec.intras,
             node_counts=tuple(node_counts),
             ppn=spec.ppn,
+            sockets_per_node=spec.sockets_per_node,
         )
+    return run_figure_spec(
+        spec, scale=scale, seed=seed, progress=progress, jobs=jobs,
+        cache_dir=cache_dir,
+    )
+
+
+def run_figure_spec(
+    spec: FigureSpec,
+    scale: Optional[str] = None,
+    seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> FigureResult:
+    """Sweep an explicit :class:`FigureSpec` — including derived ones
+    such as :func:`socket_variant` three-level extensions."""
     workload = figure_workload(spec.app, scale or scale_from_env())
     runner = GridRunner(
         workload=workload,
         ppn=spec.ppn,
         node_counts=spec.node_counts,
         seed=seed,
+        cluster_factory=lambda n: minihpc(
+            n, spec.ppn, sockets_per_node=spec.sockets_per_node
+        ),
         progress=progress,
         jobs=jobs,
         cache_dir=cache_dir,

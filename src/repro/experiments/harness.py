@@ -22,7 +22,13 @@ from repro.workloads.base import Workload
 
 @dataclass(frozen=True)
 class Cell:
-    """One grid cell: a single simulated execution."""
+    """One grid cell: a single simulated execution.
+
+    ``inter``/``intra`` are technique *stacks*: either may be a
+    ``+``-joined multi-level string (``intra="FAC2+STATIC"`` schedules
+    sockets then cores within each inter-node chunk), so a sweep can
+    mix two- and three-level configurations in one grid.
+    """
 
     approach: str
     inter: str
@@ -107,6 +113,12 @@ class GridRunner:
     over a process pool; ``cache_dir`` serves previously simulated
     cells from disk (results are identical either way — see
     :mod:`repro.experiments.parallel`).
+
+    Multi-level stacks sweep like any other panel: pass a socketed
+    ``cluster_factory`` (e.g. ``lambda n: minihpc(n, 16,
+    sockets_per_node=2)``) and ``+``-joined intra stacks
+    (``intras=["STATIC", "FAC2+STATIC"]``) to compare two- and
+    three-level scheduling of the same figure grid.
     """
 
     workload: Workload

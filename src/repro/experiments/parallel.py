@@ -46,7 +46,8 @@ if TYPE_CHECKING:  # pragma: no cover
 #: (approach, inter, intra, nodes) — one grid cell to simulate
 CellSpec = Tuple[str, str, str, int]
 
-CACHE_FORMAT_VERSION = 1
+# v2: cluster signatures carry the socket tier (three-level stacks)
+CACHE_FORMAT_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -68,7 +69,7 @@ def workload_fingerprint(workload: Workload) -> str:
 def cluster_signature(cluster: ClusterSpec) -> List:
     """JSON-friendly identity of a cluster spec (names excluded)."""
     return [
-        [[node.cores, node.core_speed] for node in cluster.nodes],
+        [[node.cores, node.core_speed, node.sockets] for node in cluster.nodes],
         cluster.network_latency,
         cluster.network_bandwidth,
     ]

@@ -48,6 +48,14 @@ class RunResult:
     chunks: List[Chunk] = field(default_factory=list, repr=False)
     #: worker-level sub-chunk assignments (present if collect_chunks)
     subchunks: List[Chunk] = field(default_factory=list, repr=False)
+    #: chunk lists per scheduling level, root first (present if
+    #: collect_chunks).  ``level_chunks[0]`` is ``chunks`` and
+    #: ``level_chunks[-1]`` is ``subchunks`` for two-level runs; deeper
+    #: stacks expose their intermediate tiers (e.g. per-socket chunks)
+    #: in between.  Every level-``i+1`` chunk lies inside exactly one
+    #: level-``i`` chunk — the containment invariant the property suite
+    #: checks.
+    level_chunks: List[List[Chunk]] = field(default_factory=list, repr=False)
     trace: Optional[Trace] = field(default=None, repr=False)
     #: runtime counters (lock contention, atomics, fetches, ...)
     counters: Dict[str, Any] = field(default_factory=dict)
@@ -150,6 +158,12 @@ class _Run:
         # recorded outcomes
         self.chunks: List[Chunk] = []
         self.subchunks: List[Chunk] = []
+        #: chunks of intermediate scheduling levels (level index -> list);
+        #: level 0 lands in ``chunks`` and the leaf in ``subchunks``
+        self.mid_chunks: Dict[int, List[Chunk]] = {}
+        #: number of scheduling levels the model actually composed
+        #: (models set this; single-level baselines use 1)
+        self.n_sched_levels = 2
         self.worker_stats: List[WorkerStats] = []
         self.counters: Dict[str, Any] = {}
         self.executed_iterations = 0
@@ -168,6 +182,23 @@ class _Run:
     def record_chunk(self, step: int, start: int, size: int, pe: int) -> None:
         if self.collect_chunks:
             self.chunks.append(Chunk(step=step, start=start, size=size, pe=pe))
+
+    def record_level_chunk(
+        self, level: int, step: int, start: int, size: int, pe: int
+    ) -> None:
+        """Record a chunk carved at scheduling ``level`` (0 = root).
+
+        Root chunks land in :attr:`chunks` exactly as before; chunks of
+        intermediate levels (the socket tier of a three-level stack) go
+        to per-level lists surfaced as ``RunResult.level_chunks``.
+        The leaf level is recorded through :meth:`record_subchunk`.
+        """
+        if level == 0:
+            self.record_chunk(step, start, size, pe)
+        elif self.collect_chunks:
+            self.mid_chunks.setdefault(level, []).append(
+                Chunk(step=step, start=start, size=size, pe=pe)
+            )
 
     def record_subchunk(self, step: int, start: int, size: int, pe: int) -> None:
         self.executed_iterations += size
@@ -206,6 +237,20 @@ class _Run:
         if verify and self.collect_chunks and self.subchunks:
             verify_schedule(self.subchunks, self.workload.n)
         metrics = compute_metrics(self.worker_stats)
+        if self.collect_chunks:
+            if self.n_sched_levels <= 1:
+                level_chunks = [self.subchunks]
+            else:
+                level_chunks = [
+                    self.chunks,
+                    *(
+                        self.mid_chunks.get(level, [])
+                        for level in range(1, self.n_sched_levels - 1)
+                    ),
+                    self.subchunks,
+                ]
+        else:
+            level_chunks = []
         return RunResult(
             approach=self.model.name,
             workload=self.workload.name,
@@ -217,6 +262,7 @@ class _Run:
             metrics=metrics,
             chunks=self.chunks,
             subchunks=self.subchunks,
+            level_chunks=level_chunks,
             trace=self.trace,
             counters=self.counters,
             n_events=self.sim.n_events_processed,

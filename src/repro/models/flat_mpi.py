@@ -9,8 +9,9 @@ window host), and fine-grained techniques hammer the single atomic
 unit at the host — the scalability gap that motivates the hierarchy
 (ablation A-2).
 
-The ``intra`` level of the spec is ignored (there is only one level);
-runs are labelled ``X+—``.
+Only the root level of the spec is used (there is only one scheduling
+level); any deeper levels of the stack are ignored, exactly as the
+``intra`` half of a two-level pair always was.
 """
 
 from __future__ import annotations
@@ -30,6 +31,7 @@ class FlatMpiModel(ExecutionModel):
         return cluster.n_nodes * ppn
 
     def _execute(self, run: _Run) -> None:
+        run.n_sched_levels = 1
         world = MpiWorld(run.sim, run.cluster, ppn=run.ppn, costs=run.costs)
         total_workers = world.size
         calc = run.spec.inter.make_calculator(

@@ -15,7 +15,8 @@ Characteristics the ablation (A-2) exposes:
   execute iterations), mirroring HDSS [13] rather than the DLB tool's
   participating master.
 
-The ``intra`` level of the spec is ignored (single-level scheduling).
+Only the root level of the spec is used (single-level scheduling); any
+deeper levels of the stack are ignored.
 """
 
 from __future__ import annotations
@@ -39,6 +40,7 @@ class MasterWorkerModel(ExecutionModel):
         return cluster.n_nodes * ppn - 1  # rank 0 is the dedicated master
 
     def _execute(self, run: _Run) -> None:
+        run.n_sched_levels = 1
         world = MpiWorld(run.sim, run.cluster, ppn=run.ppn, costs=run.costs)
         n_workers = world.size - 1
         if n_workers < 1:

@@ -5,87 +5,162 @@ Architecture (paper Section 3, Figure 1):
 * one **global work queue** — an RMA window holding the latest
   scheduling step and total scheduled iterations (distributed chunk
   calculation, no master);
-* one **local work queue per node** — an MPI-3 shared-memory window
-  (``MPI_Win_allocate_shared``) guarded by exclusive
-  ``MPI_Win_lock``/``MPI_Win_unlock`` (lock *polling*!) and
+* one **local work queue per machine tier group** — an MPI-3
+  shared-memory window (``MPI_Win_allocate_shared``) guarded by
+  exclusive ``MPI_Win_lock``/``MPI_Win_unlock`` (lock *polling*!) and
   ``MPI_Win_sync``;
 * ``ppn`` MPI processes per node, each one an independent worker:
 
   1. lock the local queue and try to take a *sub-chunk* via the
-     intra-node DLS technique;
-  2. if the local queue is dry, unlock, obtain a *chunk* from the
-     global queue via the inter-node DLS technique, re-lock, deposit
-     the chunk, take the first sub-chunk;
+     queue's DLS technique;
+  2. if the local queue is dry, obtain a *chunk* from the parent tier
+     (recursively, up to the global queue) while holding the lock,
+     deposit the chunk, take the first sub-chunk;
   3. execute, repeat.
 
 Nobody waits for anybody: the responsibility for refilling is not
-pinned to a coordinator — whichever process drains the queue first
+pinned to a coordinator — whichever process drains a queue first
 (the *fastest* process) refills it, and several processes may refill
-concurrently (the queue holds a list of ranges).  There is no implicit
+concurrently (each queue holds a list of ranges).  There is no implicit
 barrier at any point, which is exactly what Figure 3 illustrates.
+
+The paper composes exactly two levels (global queue across nodes +
+one local queue per node).  This implementation generalises the same
+protocol to an **arbitrary-depth level stack** mapped onto the machine
+tiers cluster -> node -> socket -> core:
+
+* depth 1 — every rank fetches directly from the global queue
+  (the flat distributed-chunk-calculation baseline, in-protocol);
+* depth 2 — the paper's configuration, bit-identical to the original
+  two-level implementation;
+* depth 3 — a per-socket queue nests inside the per-node queue
+  (``GSS+FAC2+STATIC``): each socket queue has its own window *and its
+  own lock*, so the fine-grained leaf grabs of a wide node contend on
+  ``cores_per_socket`` peers instead of all ``ppn`` — socket-aware
+  local queues cut the simulated lock-polling contention that makes
+  ``X+SS`` poor on wide nodes.
+
+A spec deeper than the machine's tier count raises ``ValueError``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core import trace as trace_mod
 from repro.core.technique_base import ChunkCalculator
 from repro.models.base import ExecutionModel, GlobalQueue, _Run
-from repro.sim.primitives import Compute, ComputeOnce
+from repro.sim.primitives import ComputeOnce
 from repro.smpi.shm import SharedWindow
 from repro.smpi.world import MpiWorld, RankCtx
+
+#: maximum scheduling depth: cluster->node, node->socket, socket->core
+MAX_LEVELS = 3
 
 
 @dataclass
 class _QueuedChunk:
-    """One deposited chunk in a node's local work queue."""
+    """One deposited chunk in a tier's local work queue."""
 
-    inter_step: int
+    #: scheduling step of the *parent* level that carved this chunk
+    src_step: int
     start: int
     size: int
     taken: int = 0
     local_step: int = 0
     calc: Optional[ChunkCalculator] = None
+    #: feedback chain for runtime-adaptive ancestors: (calculator, pe)
+    #: pairs from the immediate parent up to the global queue
+    ancestors: Tuple[Tuple[ChunkCalculator, int], ...] = ()
 
     @property
     def remaining(self) -> int:
         return self.size - self.taken
 
+    @property
+    def inter_step(self) -> int:
+        """Historical alias from the two-level implementation."""
+        return self.src_step
+
 
 class _LocalQueue:
-    """Python-side view of one node's shared-memory work queue.
+    """Python-side view of one tier group's shared-memory work queue.
 
     All mutating methods must be called while the caller holds the
     shared window's lock; the simulated access costs are charged by
     the caller through ``SharedWindow.access``.
+
+    ``parent`` is the queue one tier up (None when the parent is the
+    global RMA queue); ``parent_pe`` is this queue's child index within
+    its parent (the node index at tier 1, the socket's position within
+    its node at tier 2) — the ``pe`` argument for PE-dependent parent
+    techniques.
     """
 
-    def __init__(self, run: _Run, node: int, shm: SharedWindow):
+    def __init__(
+        self,
+        run: _Run,
+        level: int,
+        n_children: int,
+        shm: SharedWindow,
+        rng_stream: str,
+        parent: "Optional[_LocalQueue]",
+        parent_pe: int,
+        global_queue: Optional[GlobalQueue] = None,
+    ):
         self.run = run
-        self.node = node
+        #: index into ``spec.levels`` of the technique carving deposits
+        self.level = level
+        self.n_children = n_children
         self.shm = shm
+        self.rng_stream = rng_stream
+        self.parent = parent
+        self.parent_pe = parent_pe
+        self.global_queue = global_queue
+        # "no refill will ever arrive again" flag; named after the
+        # two-level implementation where the only parent was the global
+        # queue, and kept for window-layout compatibility
         shm.cells.setdefault("global_done", 0)
         self.ranges: List[_QueuedChunk] = []
         shm.state["queue"] = self.ranges  # visible to tests/inspection
 
-    def deposit(self, inter_step: int, start: int, size: int) -> None:
-        calc = self.run.spec.intra.make_calculator(
+    def deposit(
+        self,
+        src_step: int,
+        start: int,
+        size: int,
+        ancestors: Tuple[Tuple[ChunkCalculator, int], ...],
+    ) -> None:
+        calc = self.run.spec.levels[self.level].make_calculator(
             size,
-            self.run.ppn,
-            rng=self.run.sim.rng(f"intra-rnd.n{self.node}"),
+            self.n_children,
+            rng=self.run.sim.rng(self.rng_stream),
             chunk_overhead=self.run.costs.chunk_calc,
         )
         self.ranges.append(
-            _QueuedChunk(inter_step=inter_step, start=start, size=size, calc=calc)
+            _QueuedChunk(
+                src_step=src_step,
+                start=start,
+                size=size,
+                calc=calc,
+                ancestors=ancestors,
+            )
         )
 
-    def take(self, local_rank: int):
-        """Take the next sub-chunk, or None if the queue is dry."""
+    def take(self, child: int):
+        """Take the next sub-chunk, or None if the queue is dry.
+
+        Returns ``(head, start, size, step)`` — ``step`` is captured
+        here, under the caller's lock, because ``head.local_step`` keeps
+        advancing once the lock is released (another child may take from
+        the same head while the caller is still in its unlock/sync
+        yields).
+        """
         while self.ranges:
             head = self.ranges[0]
-            size = head.calc.size_at(head.local_step, pe=local_rank)
+            step = head.local_step
+            size = head.calc.size_at(step, pe=child)
             size = min(size, head.remaining)
             if size <= 0:
                 self.ranges.pop(0)
@@ -95,7 +170,7 @@ class _LocalQueue:
             head.local_step += 1
             if head.remaining == 0:
                 self.ranges.pop(0)
-            return head, sub_start, size
+            return head, sub_start, size, step
         return None
 
 
@@ -105,10 +180,20 @@ class MpiMpiModel(ExecutionModel):
     name = "mpi+mpi"
 
     def _execute(self, run: _Run) -> None:
+        depth = run.spec.depth
+        if depth > MAX_LEVELS:
+            raise ValueError(
+                f"mpi+mpi maps scheduling levels onto machine tiers "
+                f"cluster->node->socket->core and therefore supports at most "
+                f"{MAX_LEVELS} levels; got a depth-{depth} stack "
+                f"({run.spec.label})"
+            )
+        run.n_sched_levels = depth
         world = MpiWorld(run.sim, run.cluster, ppn=run.ppn, costs=run.costs)
+        inter_pes = world.size if depth == 1 else run.cluster.n_nodes
         inter_calc = run.spec.inter.make_calculator(
             run.workload.n,
-            run.cluster.n_nodes,
+            inter_pes,
             rng=run.sim.rng("inter-rnd"),
             chunk_overhead=run.costs.chunk_calc,
         )
@@ -119,19 +204,22 @@ class MpiMpiModel(ExecutionModel):
             host_rank=0,
             pinned=run.spec.inter.technique.pinned_per_pe,
         )
-        local_queues = {
-            node: _LocalQueue(run, node, world.create_shared_window(node, {}))
-            for node in range(run.cluster.n_nodes)
-        }
+        local_queues = self._build_queues(run, world, queue, depth)
         finish_times = {}
         chunk_counts = {}
         iter_counts = {}
 
         def worker(ctx: RankCtx):
-            yield from self._worker_loop(
-                run, ctx, queue, local_queues[ctx.node], finish_times,
-                chunk_counts, iter_counts,
-            )
+            if depth == 1:
+                yield from self._flat_worker_loop(
+                    run, ctx, queue, finish_times, chunk_counts, iter_counts,
+                )
+            else:
+                leaf, child = self._leaf_of(run, world, local_queues, ctx, depth)
+                yield from self._worker_loop(
+                    run, ctx, leaf, child, finish_times,
+                    chunk_counts, iter_counts,
+                )
 
         processes = world.run(worker)
         for process, ctx in zip(processes, world.contexts):
@@ -146,7 +234,7 @@ class MpiMpiModel(ExecutionModel):
         run.counters["global_atomics"] = queue.window.n_atomics
         run.counters["remote_atomics"] = queue.window.n_remote_atomics
         run.counters["lock_stats"] = {
-            node: lq.shm.contention_stats() for node, lq in local_queues.items()
+            key: lq.shm.contention_stats() for key, lq in local_queues.items()
         }
         run.counters["total_poll_wait"] = sum(
             lq.shm.total_poll_wait for lq in local_queues.values()
@@ -156,17 +244,120 @@ class MpiMpiModel(ExecutionModel):
         )
 
     # ------------------------------------------------------------------
+    def _build_queues(
+        self, run: _Run, world: MpiWorld, queue: GlobalQueue, depth: int
+    ) -> Dict[object, _LocalQueue]:
+        """Create one local queue per tier group (tier 1: nodes, tier 2:
+        sockets), wired into a refill tree rooted at the global queue."""
+        if depth == 1:
+            return {}
+        placement = world.placement
+        local_queues: Dict[object, _LocalQueue] = {}
+        for node in range(run.cluster.n_nodes):
+            sockets = placement.sockets_on_node(node)
+            n_children = run.ppn if depth == 2 else len(sockets)
+            local_queues[node] = _LocalQueue(
+                run,
+                level=1,
+                n_children=n_children,
+                shm=world.create_shared_window(node, {}),
+                rng_stream=f"intra-rnd.n{node}",
+                parent=None,
+                parent_pe=node,
+                global_queue=queue,
+            )
+            if depth == 3:
+                for position, socket in enumerate(sockets):
+                    members = placement.ranks_on_socket(node, socket)
+                    local_queues[(node, socket)] = _LocalQueue(
+                        run,
+                        level=2,
+                        n_children=len(members),
+                        shm=world.create_shared_window((node, socket), {}),
+                        rng_stream=f"intra-rnd.n{node}.s{socket}",
+                        parent=local_queues[node],
+                        parent_pe=position,
+                    )
+        return local_queues
+
+    def _leaf_of(
+        self,
+        run: _Run,
+        world: MpiWorld,
+        local_queues: Dict[object, _LocalQueue],
+        ctx: RankCtx,
+        depth: int,
+    ) -> Tuple[_LocalQueue, int]:
+        """The queue a rank grabs sub-chunks from, and its child index."""
+        if depth == 2:
+            return local_queues[ctx.node], ctx.local_rank
+        return local_queues[(ctx.node, ctx.socket)], ctx.socket_rank
+
+    # ------------------------------------------------------------------
+    def _take_from(self, run: _Run, ctx: RankCtx, q: _LocalQueue, child: int):
+        """Take the next sub-chunk from ``q`` (generator).
+
+        Returns ``(head, start, size)`` or None once the queue is dry
+        *and* no ancestor can supply more work.  When the queue is dry
+        but live, the caller refills it in place — holding the window
+        lock across the parent fetch (paper Fig. 1 steps 1-2): other
+        local processes keep polling the lock meanwhile instead of
+        waiting for a designated coordinator.  The parent fetch recurses
+        through the tier queues up to the global RMA queue.
+        """
+        shm = q.shm
+        while True:
+            yield from shm.lock(ctx)
+            yield from shm.access(ctx, n=3)  # head pointers + counters
+            sub = q.take(child)
+            if sub is not None:
+                yield from shm.unlock(ctx)
+                yield from shm.sync(ctx)
+                return sub
+            if shm.cells["global_done"]:
+                yield from shm.unlock(ctx)
+                return None
+            # ---- this process is currently the fastest: refill --------
+            if q.parent is None:
+                step, start, size = yield from q.global_queue.next_chunk(
+                    ctx, pe=q.parent_pe
+                )
+                ancestors = ((q.global_queue.calc, q.parent_pe),)
+            else:
+                parent_sub = yield from self._take_from(
+                    run, ctx, q.parent, q.parent_pe
+                )
+                if parent_sub is None:
+                    step, start, size = -1, 0, 0
+                    ancestors = ()
+                else:
+                    head, start, size, step = parent_sub
+                    ancestors = ((head.calc, q.parent_pe), *head.ancestors)
+            yield from shm.access(ctx, n=3)
+            if size > 0:
+                q.deposit(step, start, size, ancestors)
+                run.record_level_chunk(q.level - 1, step, start, size, q.parent_pe)
+                sub = q.take(child)
+            else:
+                shm.cells["global_done"] = 1
+            yield from shm.unlock(ctx)
+            yield from shm.sync(ctx)
+            if sub is not None:
+                return sub
+            # parent exhausted while we refilled: loop once more to
+            # observe the drained flag under the lock, then terminate
+
+    # ------------------------------------------------------------------
     def _worker_loop(
         self,
         run: _Run,
         ctx: RankCtx,
-        queue: GlobalQueue,
-        local: _LocalQueue,
+        leaf: _LocalQueue,
+        child: int,
         finish_times,
         chunk_counts,
         iter_counts,
     ):
-        shm = local.shm
         sim = run.sim
         trace = run.trace
         worker_name = ctx.name()
@@ -174,38 +365,14 @@ class MpiMpiModel(ExecutionModel):
         n_iters = 0
 
         while True:
-            # ---- stage 1: try the local shared queue -------------------
+            # ---- stages 1-2: obtain a sub-chunk (refilling as needed) --
             t_obtain = sim.now
-            yield from shm.lock(ctx)
-            yield from shm.access(ctx, n=3)  # head pointers + counters
-            sub = local.take(ctx.local_rank)
+            sub = yield from self._take_from(run, ctx, leaf, child)
             if sub is None:
-                if shm.cells["global_done"]:
-                    yield from shm.unlock(ctx)
-                    break
-                # ---- stage 2: this process is currently the fastest ----
-                # It refills the local queue itself, holding the window
-                # lock across the global fetch (paper Fig. 1 steps 1-2):
-                # other local processes keep polling the lock meanwhile
-                # instead of waiting for a designated coordinator.
-                step, start, size = yield from queue.next_chunk(ctx, pe=ctx.node)
-                yield from shm.access(ctx, n=3)
-                if size > 0:
-                    local.deposit(step, start, size)
-                    run.record_chunk(step, start, size, pe=ctx.node)
-                    sub = local.take(ctx.local_rank)
-                else:
-                    shm.cells["global_done"] = 1
-                yield from shm.unlock(ctx)
-                yield from shm.sync(ctx)
-                if sub is None:
-                    continue
-            else:
-                yield from shm.unlock(ctx)
-                yield from shm.sync(ctx)
+                break
 
             # ---- stage 3: execute the sub-chunk -------------------------
-            head, sub_start, sub_size = sub
+            head, sub_start, sub_size, _step = sub
             if trace is not None and sim.now > t_obtain:
                 trace.add(worker_name, t_obtain, sim.now, trace_mod.OBTAIN)
             duration = run.exec_time(sub_start, sub_size, ctx.node, ctx.core)
@@ -213,12 +380,50 @@ class MpiMpiModel(ExecutionModel):
             yield ComputeOnce(duration)  # jittered: unique per chunk, skip interning
             if trace is not None:
                 trace.add(worker_name, t0, sim.now, trace_mod.COMPUTE)
-            head.calc.record(ctx.local_rank, sub_size, compute_time=duration)
-            queue.calc.record(ctx.node, sub_size, compute_time=duration)
+            # runtime feedback flows to every level along the refill
+            # path, leaf first — adaptive techniques (AWF-*, AF) adapt
+            # at whichever level they are placed, not just the root
+            head.calc.record(child, sub_size, compute_time=duration)
+            for calc, pe in head.ancestors:
+                calc.record(pe, sub_size, compute_time=duration)
+            # `head.local_step - 1` (not the `_step` captured at take
+            # time) reproduces the original implementation's recording
+            # bit-for-bit — the differential goldens pin it
             run.record_subchunk(head.local_step - 1, sub_start, sub_size, pe=ctx.rank)
             n_chunks += 1
             n_iters += sub_size
 
+        finish_times[ctx.rank] = sim.now
+        chunk_counts[ctx.rank] = n_chunks
+        iter_counts[ctx.rank] = n_iters
+
+    # ------------------------------------------------------------------
+    def _flat_worker_loop(
+        self, run: _Run, ctx: RankCtx, queue: GlobalQueue,
+        finish_times, chunk_counts, iter_counts,
+    ):
+        """Depth-1 stacks: every rank fetches from the global queue."""
+        sim = run.sim
+        trace = run.trace
+        n_chunks = 0
+        n_iters = 0
+        while True:
+            t_obtain = sim.now
+            step, start, size = yield from queue.next_chunk(ctx, pe=ctx.rank)
+            if size <= 0:
+                break
+            if trace is not None and sim.now > t_obtain:
+                trace.add(ctx.name(), t_obtain, sim.now, trace_mod.OBTAIN)
+            run.record_chunk(step, start, size, pe=ctx.rank)
+            duration = run.exec_time(start, size, ctx.node, ctx.core)
+            t0 = sim.now
+            yield ComputeOnce(duration)  # jittered: unique per chunk, skip interning
+            if trace is not None:
+                trace.add(ctx.name(), t0, sim.now, trace_mod.COMPUTE)
+            queue.calc.record(ctx.rank, size, compute_time=duration)
+            run.record_subchunk(step, start, size, pe=ctx.rank)
+            n_chunks += 1
+            n_iters += size
         finish_times[ctx.rank] = sim.now
         chunk_counts[ctx.rank] = n_chunks
         iter_counts[ctx.rank] = n_iters

@@ -18,14 +18,58 @@ were unavailable in the paper's MPI+OpenMP experiments.
 ``nowait_selffetch=True`` switches to the paper's Section 6
 future-work variant: threads skip the barrier and fetch chunks
 themselves under a serialising mutex (ablation A-3).
+
+Three-level stacks (``X+Y+Z``) map onto **nested OpenMP parallelism**:
+one MPI process per node, an outer worksharing level over the node's
+sockets (one persistent *socket driver* + thread team per socket), and
+the leaf ``schedule`` clause within each socket team.  Each global
+chunk is carved across sockets by the middle technique
+(self-scheduled — whichever socket driver drains the outer queue grabs
+next), and the outer worksharing loop ends in its own implicit barrier
+across sockets, just as the inner loops barrier across threads.  Depth
+2 executes the exact code path of the original two-level model.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.technique_base import ChunkCalculator
 from repro.models.base import ExecutionModel, GlobalQueue, _Run
+from repro.sim.primitives import Overhead
+from repro.sim.resources import Barrier
 from repro.smpi.world import MpiWorld, RankCtx
 from repro.somp.schedule import ScheduleSpec
 from repro.somp.team import OmpTeam
+
+
+@dataclass
+class _OuterRound:
+    """One global chunk being carved across a node's sockets."""
+
+    src_step: int
+    start: int
+    size: int
+    calc: ChunkCalculator
+    counter: int = 0
+    scheduled: int = 0
+    grabs: Dict[int, int] = field(default_factory=dict)
+
+    def grab(self, socket_pos: int):
+        """Self-scheduled outer grab: (step, abs_start, size) or None."""
+        remaining = self.size - self.scheduled
+        if remaining <= 0:
+            return None
+        size = self.calc.size_at(self.counter, pe=socket_pos)
+        if size <= 0:
+            return None
+        size = min(size, remaining)
+        out = (self.counter, self.start + self.scheduled, size)
+        self.scheduled += size
+        self.counter += 1
+        self.grabs[socket_pos] = self.grabs.get(socket_pos, 0) + 1
+        return out
 
 
 class MpiOpenMpModel(ExecutionModel):
@@ -39,10 +83,11 @@ class MpiOpenMpModel(ExecutionModel):
         #: use the nowait future-work execution style (ablation A-3)
         self.nowait_selffetch = nowait_selffetch
 
-    def _execute(self, run: _Run) -> None:
-        # one MPI process per node; its team has `ppn` threads
+    # -- shared setup --------------------------------------------------
+    def _setup(self, run: _Run):
+        """One MPI process per node + the global queue + the leaf
+        ``schedule`` clause (identical for depth 2 and depth 3)."""
         world = MpiWorld(run.sim, run.cluster, ppn=1, costs=run.costs)
-        n_threads = run.ppn
         inter_calc = run.spec.inter.make_calculator(
             run.workload.n,
             run.cluster.n_nodes,
@@ -56,12 +101,47 @@ class MpiOpenMpModel(ExecutionModel):
             host_rank=0,
             pinned=run.spec.inter.technique.pinned_per_pe,
         )
+        leaf = run.spec.intra  # the last level drives the schedule clause
         omp_spec = ScheduleSpec.from_technique(
-            run.spec.intra.technique.name,
+            leaf.technique.name,
             extensions=not self.intel_runtime,
         )
-        if run.spec.intra.min_chunk > 1:
-            omp_spec = ScheduleSpec(omp_spec.kind, run.spec.intra.min_chunk)
+        if leaf.min_chunk > 1:
+            omp_spec = ScheduleSpec(omp_spec.kind, leaf.min_chunk)
+        return world, inter_calc, queue, omp_spec
+
+    @staticmethod
+    def _team_thread_stats(team: OmpTeam):
+        """Aggregate per-thread executed/grab counts over a team's phases."""
+        executed: Dict[int, int] = {}
+        grabs: Dict[int, int] = {}
+        for phase in team.phases:
+            for tid, n_it in phase.executed_per_thread.items():
+                executed[tid] = executed.get(tid, 0) + n_it
+            for tid, n_g in phase.grabs.items():
+                grabs[tid] = grabs.get(tid, 0) + n_g
+        return executed, grabs
+
+    def _execute(self, run: _Run) -> None:
+        depth = run.spec.depth
+        if depth == 3:
+            if self.nowait_selffetch:
+                raise ValueError(
+                    "the nowait self-fetch variant (ablation A-3) is "
+                    "defined for two-level stacks only; got "
+                    f"{run.spec.label}"
+                )
+            self._execute_three_level(run)
+            return
+        if depth != 2:
+            raise ValueError(
+                "mpi+openmp composes one MPI level with OpenMP worksharing: "
+                "use a depth-2 stack (node -> core) or a depth-3 stack "
+                f"(node -> socket -> core); got depth {depth} "
+                f"({run.spec.label})"
+            )
+        world, inter_calc, queue, omp_spec = self._setup(run)
+        n_threads = run.ppn
 
         teams: dict[int, OmpTeam] = {}
         finish_times: dict[int, float] = {}
@@ -106,13 +186,7 @@ class MpiOpenMpModel(ExecutionModel):
             team = teams[ctx.node]
             rank_process = ctx.process
             thread_processes = [rank_process, *team.threads]
-            executed = {}
-            grabs = {}
-            for phase in team.phases:
-                for tid, n_it in phase.executed_per_thread.items():
-                    executed[tid] = executed.get(tid, 0) + n_it
-                for tid, n_g in phase.grabs.items():
-                    grabs[tid] = grabs.get(tid, 0) + n_g
+            executed, grabs = self._team_thread_stats(team)
             for tid, process in enumerate(thread_processes):
                 run.record_worker(
                     name=f"n{ctx.node}.t{tid}",
@@ -128,6 +202,164 @@ class MpiOpenMpModel(ExecutionModel):
         run.counters["omp_grabs"] = sum(
             t.stats()["total_grabs"] for t in teams.values()
         )
+
+    # ------------------------------------------------------------------
+    def _execute_three_level(self, run: _Run) -> None:
+        """Nested OpenMP: outer worksharing over sockets, inner per socket.
+
+        Per node and per global chunk, the socket drivers self-schedule
+        the middle technique's sub-chunks over their teams and then meet
+        at the outer implicit barrier; the rank process (driver of the
+        first socket) fetches the next global chunk only after that
+        barrier — the node-level analogue of the paper's Figure 2.
+        """
+        run.n_sched_levels = 3
+        world, inter_calc, queue, omp_spec = self._setup(run)
+        n_threads = run.ppn
+
+        #: (node, socket) -> team, plus per-node bookkeeping for stats
+        teams: Dict[tuple, OmpTeam] = {}
+        socket_cores: Dict[tuple, List[int]] = {}
+        finish_times: Dict[int, float] = {}
+        outer_rounds = [0]
+
+        def node_main(ctx: RankCtx):
+            sim = run.sim
+            node = ctx.node
+            node_spec = run.cluster.node_of(node)
+            groups: Dict[int, List[int]] = {}
+            for core in range(n_threads):
+                groups.setdefault(node_spec.socket_of_core(core), []).append(core)
+            sockets = sorted(groups)
+            n_sockets = len(sockets)
+            node_teams: List[OmpTeam] = []
+            for socket in sockets:
+                team = OmpTeam(
+                    sim,
+                    len(groups[socket]),
+                    run.costs,
+                    name=f"n{node}.s{socket}",
+                    weights=None,
+                    rng=sim.rng(f"omp-rnd.n{node}.s{socket}"),
+                    trace=run.trace,
+                )
+                teams[(node, socket)] = team
+                socket_cores[(node, socket)] = groups[socket]
+                node_teams.append(team)
+            outer_barrier = Barrier(sim, n_sockets, name=f"omp-outer.n{node}")
+            gate_box = {"gate": sim.event(f"omp-outer.n{node}.round0")}
+            omp = run.costs.omp
+
+            def body_time_for(socket_pos: int):
+                cores = socket_cores[(node, sockets[socket_pos])]
+
+                def body_time(start: int, size: int, tid: int) -> float:
+                    core = cores[tid]
+                    run.record_subchunk(0, start, size, pe=node * n_threads + core)
+                    return run.exec_time(start, size, node, core)
+
+                return body_time
+
+            body_times = [body_time_for(pos) for pos in range(n_sockets)]
+
+            def drive_round(socket_pos: int, round_: _OuterRound):
+                """One socket driver's share of one global chunk."""
+                team = node_teams[socket_pos]
+                while True:
+                    # outer worksharing grab: atomic capture + middle
+                    # technique's chunk formula
+                    yield Overhead(omp.atomic + run.costs.chunk_calc)
+                    grabbed = round_.grab(socket_pos)
+                    if grabbed is None:
+                        break
+                    step, sub_start, sub_size = grabbed
+                    run.record_level_chunk(1, step, sub_start, sub_size, pe=socket_pos)
+                    t0 = sim.now
+                    yield from team.parallel_for(
+                        sub_start, sub_size, omp_spec, body_times[socket_pos]
+                    )
+                    round_.calc.record(
+                        socket_pos, sub_size, compute_time=sim.now - t0
+                    )
+                # the outer worksharing loop's own implicit barrier
+                yield Overhead(omp.barrier_time(n_sockets))
+                yield from outer_barrier.wait()
+
+            def driver_main(socket_pos: int):
+                gate = gate_box["gate"]
+                while True:
+                    round_ = yield gate
+                    gate = gate_box["gate"]
+                    if round_ is None:
+                        return
+                    yield from drive_round(socket_pos, round_)
+
+            driver_processes = [
+                sim.spawn(driver_main(pos), name=f"n{node}.s{sockets[pos]}.drv")
+                for pos in range(1, n_sockets)
+            ]
+            for pos, process in enumerate(driver_processes, start=1):
+                teams[(node, sockets[pos])].driver_process = process
+
+            round_index = 0
+            while True:
+                step, start, size = yield from queue.next_chunk(ctx, pe=node)
+                if size <= 0:
+                    break
+                run.record_chunk(step, start, size, pe=node)
+                mid_calc = run.spec.levels[1].make_calculator(
+                    size,
+                    n_sockets,
+                    rng=sim.rng(f"mid-rnd.n{node}"),
+                    chunk_overhead=run.costs.chunk_calc,
+                )
+                round_ = _OuterRound(
+                    src_step=step, start=start, size=size, calc=mid_calc
+                )
+                round_index += 1
+                outer_rounds[0] += 1
+                gate, gate_box["gate"] = gate_box["gate"], sim.event(
+                    f"omp-outer.n{node}.round{round_index}"
+                )
+                gate.trigger(round_)
+                t0 = sim.now
+                yield from drive_round(0, round_)
+                # runtime feedback for adaptive inter-node techniques
+                inter_calc.record(node, size, compute_time=sim.now - t0)
+            finish_times[node] = sim.now
+            gate_box["gate"].trigger(None)
+            for team in node_teams:
+                team.shutdown()
+
+        world.run(node_main)
+
+        # Per-worker stats: each OpenMP thread of each socket team is a
+        # worker.  Thread 0 of the first socket's team is the rank
+        # process itself; thread 0 of every other team is its driver.
+        for ctx in world.contexts:
+            node = ctx.node
+            node_keys = sorted(k for k in teams if k[0] == node)
+            for position, key in enumerate(node_keys):
+                team = teams[key]
+                driver = ctx.process if position == 0 else team.driver_process
+                thread_processes = [driver, *team.threads]
+                executed, grabs = self._team_thread_stats(team)
+                for tid, process in enumerate(thread_processes):
+                    run.record_worker(
+                        name=f"n{node}.s{key[1]}.t{tid}",
+                        node=node,
+                        finish_time=finish_times[node],
+                        process=process,
+                        n_chunks=grabs.get(tid, 0),
+                        n_iterations=executed.get(tid, 0),
+                    )
+        run.counters["global_atomics"] = queue.window.n_atomics
+        run.counters["remote_atomics"] = queue.window.n_remote_atomics
+        run.counters["omp_phases"] = sum(len(t.phases) for t in teams.values())
+        run.counters["omp_grabs"] = sum(
+            t.stats()["total_grabs"] for t in teams.values()
+        )
+        run.counters["omp_outer_rounds"] = outer_rounds[0]
 
     # ------------------------------------------------------------------
     def _selffetch_main(self, run, ctx, queue, team, omp_spec, body_time):

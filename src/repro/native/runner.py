@@ -163,7 +163,14 @@ class NativeRunner:
         spec: HierarchicalSpec,
         n_groups: int,
     ) -> NativeResult:
-        """Two-level scheduling: groups with local queues (MPI+MPI style)."""
+        """Two-level scheduling: groups with local queues (MPI+MPI style).
+
+        Deeper stacks project onto the native thread pool's two tiers:
+        the root level (``spec.inter``) feeds the global queue and the
+        leaf level (``spec.intra``) carves each group's deposits —
+        intermediate levels have no thread-pool tier to map to here and
+        are exercised by the simulator models instead.
+        """
         if self.n_workers % n_groups != 0:
             raise ValueError(
                 f"{self.n_workers} workers cannot form {n_groups} equal groups"

@@ -44,14 +44,23 @@ class SharedWindow:
     hardware).
     """
 
-    def __init__(self, world: "MpiWorld", node: int, cells: Dict[str, int]):
+    def __init__(self, world: "MpiWorld", node, cells: Dict[str, int]):
         self.world = world
+        #: window key: node index, or any hashable for finer-grained
+        #: windows (e.g. ``(node, socket)`` for a socket-level queue)
         self.node = node
         self.cells: Dict[str, int] = dict(cells)
         #: free-form structured contents (the queue's chunk ranges)
         self.state: Dict[str, Any] = {}
-        self._lock = Lock(world.sim, name=f"shmwin@node{node}")
-        self._rng = world.sim.rng(f"shm-lockpoll.node{node}")
+        # int keys keep their historical stream names so per-node
+        # windows (and thus every two-level run) stay bit-identical
+        tag = (
+            str(node)
+            if not isinstance(node, tuple)
+            else "-".join(str(part) for part in node)
+        )
+        self._lock = Lock(world.sim, name=f"shmwin@node{tag}")
+        self._rng = world.sim.rng(f"shm-lockpoll.node{tag}")
         # statistics
         self.n_acquisitions = 0
         self.n_attempts = 0

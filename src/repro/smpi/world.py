@@ -52,7 +52,7 @@ class MpiWorld:
             RankCtx(self, rank) for rank in range(self.size)
         ]
         self._windows: List[Window] = []
-        self._shared_windows: Dict[int, SharedWindow] = {}
+        self._shared_windows: Dict[Any, SharedWindow] = {}
 
     # ------------------------------------------------------------------
     def launch(self, main: MainFn, name_prefix: str = "rank") -> List[Process]:
@@ -79,17 +79,22 @@ class MpiWorld:
         self._windows.append(window)
         return window
 
-    def create_shared_window(
-        self, node: int, cells: Dict[str, int]
-    ) -> SharedWindow:
-        """Allocate the node's shared-memory window (``MPI_Win_allocate_shared``)."""
+    def create_shared_window(self, node, cells: Dict[str, int]) -> SharedWindow:
+        """Allocate a shared-memory window (``MPI_Win_allocate_shared``).
+
+        ``node`` is the window's key: a node index for the classic
+        per-node local queue, or any hashable (e.g. a ``(node, socket)``
+        tuple) for the finer-grained windows of deeper scheduling
+        stacks — each key gets its own lock, so socket-level queues do
+        not contend on the node lock.
+        """
         if node in self._shared_windows:
-            raise RuntimeError(f"node {node} already has a shared window")
+            raise RuntimeError(f"shared window {node!r} already exists")
         window = SharedWindow(self, node, cells)
         self._shared_windows[node] = window
         return window
 
-    def shared_window_of(self, node: int) -> SharedWindow:
+    def shared_window_of(self, node) -> SharedWindow:
         return self._shared_windows[node]
 
     @property
@@ -97,7 +102,7 @@ class MpiWorld:
         return list(self._windows)
 
     @property
-    def shared_windows(self) -> Dict[int, SharedWindow]:
+    def shared_windows(self) -> Dict[Any, SharedWindow]:
         return dict(self._shared_windows)
 
 
@@ -112,8 +117,10 @@ class RankCtx:
         self.world = world
         self.rank = rank
         self.node = world.placement.node_of(rank)
+        self.socket = world.placement.socket_of(rank)
         self.core = world.placement.core_of(rank)
         self.local_rank = rank - min(world.placement.ranks_on_node(self.node))
+        self.socket_rank = world.placement.socket_rank(rank)
         self.process: Optional[Process] = None
 
     # -- introspection ---------------------------------------------------

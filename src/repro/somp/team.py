@@ -118,6 +118,11 @@ class OmpTeam:
         ]
         #: completed phases, for stats inspection
         self.phases: List[_Phase] = []
+        #: the simulated process acting as this team's thread 0, when it
+        #: is not the MPI rank process itself — nested three-level runs
+        #: drive each socket team from a dedicated *socket driver*
+        #: process and record it here for per-thread stats
+        self.driver_process: Optional[Process] = None
 
     # ------------------------------------------------------------------
     # master-side API (call with ``yield from`` inside a rank process)

@@ -1,0 +1,99 @@
+"""Regenerate the differential-test golden snapshot.
+
+Run from the repo root with the *reference* implementation checked out::
+
+    PYTHONPATH=src python tests/golden/generate_seed_golden.py
+
+The snapshot (``seed_runresults.json``) pins the exact simulated
+behaviour of every pre-existing two-level ``X+Y`` configuration across
+all four execution models: the makespan and per-rank finish times as
+hex floats (bit-exact), plus a SHA-256 digest of the full chunk +
+sub-chunk trace.  ``tests/test_differential_seed.py`` replays the same
+configurations through the current code and asserts equality — proving
+that the arbitrary-depth refactor left every two-level result
+bit-identical to the seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+
+from repro.api import run_hierarchical
+from repro.cluster.machine import heterogeneous, homogeneous
+from repro.workloads import uniform_workload
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "seed_runresults.json")
+
+#: every config the snapshot covers: (approach, inter, intra, cluster_id,
+#: ppn, seed, extra-kwargs)
+CLUSTERS = {
+    "homog-2x4": lambda: homogeneous(2, 4),
+    "homog-3x4": lambda: homogeneous(3, 4),
+    "hetero-2": lambda: heterogeneous([4, 4], [1.0, 1.5]),
+}
+
+INTERS = ["STATIC", "SS", "GSS", "TSS", "FAC2", "mFSC", "TFSS", "AWF-B", "AF"]
+MPI_MPI_INTRAS = ["STATIC", "SS", "GSS", "TSS", "FAC2"]
+OPENMP_INTRAS = ["STATIC", "SS", "GSS", "TSS"]
+
+
+def config_matrix():
+    for cluster_id in CLUSTERS:
+        for seed in (0, 7):
+            for inter in INTERS:
+                for intra in MPI_MPI_INTRAS:
+                    yield ("mpi+mpi", inter, intra, cluster_id, 4, seed)
+                for intra in OPENMP_INTRAS:
+                    yield ("mpi+openmp", inter, intra, cluster_id, 4, seed)
+                # single-level baselines (intra ignored)
+                yield ("flat-mpi", inter, "SS", cluster_id, 4, seed)
+                yield ("master-worker", inter, "SS", cluster_id, 4, seed)
+
+
+def chunk_digest(result) -> str:
+    payload = ";".join(
+        f"{c.step},{c.start},{c.size},{c.pe}" for c in result.chunks
+    ) + "|" + ";".join(
+        f"{c.step},{c.start},{c.size},{c.pe}" for c in result.subchunks
+    )
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+
+def snapshot_one(approach, inter, intra, cluster_id, ppn, seed):
+    result = run_hierarchical(
+        uniform_workload(240, low=5e-5, high=2e-3, seed=3),
+        CLUSTERS[cluster_id](),
+        inter=inter,
+        intra=intra,
+        approach=approach,
+        ppn=ppn,
+        seed=seed,
+    )
+    return {
+        "spec_label": result.spec_label,
+        "parallel_time": result.parallel_time.hex(),
+        "n_events": result.n_events,
+        "finish_times": {
+            w.name: w.finish_time.hex() for w in result.metrics.workers
+        },
+        "chunk_digest": chunk_digest(result),
+    }
+
+
+def main() -> int:
+    golden = {}
+    for config in config_matrix():
+        key = "/".join(str(part) for part in config)
+        golden[key] = snapshot_one(*config)
+        print(f"  {key}: T={float.fromhex(golden[key]['parallel_time']):.6g}s")
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as fh:
+        json.dump(golden, fh, indent=1, sort_keys=True)
+    print(f"wrote {len(golden)} configs to {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,208 @@
+"""Arbitrary-depth level stacks: spec API, CLI syntax, and grid sweeps.
+
+The tentpole of the depth generalisation: ``HierarchicalSpec`` is a
+stack of ``LevelSpec``s of any depth >= 1, the two-level constructor is
+a compatibility classmethod, and three-level configurations run through
+the simulator, the CLI (``--techniques X+Y+Z``), and the experiment
+grid sweep.
+"""
+
+import pytest
+
+from repro.api import run_hierarchical
+from repro.cli import main as cli_main
+from repro.cluster.machine import homogeneous, minihpc
+from repro.core.chunking import verify_schedule
+from repro.core.hierarchy import HierarchicalSpec, LevelSpec
+from repro.core.technique_base import IterationProfile
+from repro.experiments.harness import GridRunner
+from repro.workloads import uniform_workload
+
+
+# ---------------------------------------------------------------------------
+# spec construction
+# ---------------------------------------------------------------------------
+
+
+def test_stack_depths_and_labels():
+    assert HierarchicalSpec.of_levels("GSS").depth == 1
+    assert HierarchicalSpec.of_levels("GSS").label == "GSS"
+    spec = HierarchicalSpec.of_levels("GSS", "FAC2", "STATIC")
+    assert spec.depth == 3
+    assert spec.label == "GSS+FAC2+STATIC"
+    assert str(spec) == "GSS+FAC2+STATIC"
+
+
+def test_parse_round_trips_labels():
+    for text in ("GSS", "GSS+STATIC", "TSS+FAC2+SS"):
+        assert HierarchicalSpec.parse(text).label == text
+    with pytest.raises(ValueError, match="malformed"):
+        HierarchicalSpec.parse("GSS++STATIC")
+
+
+def test_two_level_constructor_is_a_stack_view():
+    spec = HierarchicalSpec.of("GSS", "STATIC")
+    assert spec.depth == 2
+    assert spec.levels == (spec.inter, spec.intra)
+    assert spec.inter is spec.levels[0]
+    assert spec.intra is spec.levels[-1]
+
+
+def test_inter_intra_on_deep_and_shallow_stacks():
+    deep = HierarchicalSpec.of_levels("GSS", "FAC2", "STATIC")
+    assert deep.inter.technique.name == "GSS"
+    assert deep.intra.technique.name == "STATIC"
+    shallow = HierarchicalSpec.of_levels("TSS")
+    assert shallow.inter is shallow.intra  # single level plays both roles
+
+
+def test_level_prefixed_kwargs():
+    profile = IterationProfile(mu=1e-3, sigma=1e-4)
+    spec = HierarchicalSpec.of_levels(
+        "FAC", "WF", "SS",
+        level0_profile=profile,
+        level1_weights=[1.0, 2.0],
+    )
+    assert spec.levels[0].profile is profile
+    assert spec.levels[1].weights == [1.0, 2.0]
+    # inter_/intra_ aliases address the root/leaf at any depth
+    spec = HierarchicalSpec.of_levels(
+        "FAC", "SS", "WF",
+        inter_profile=profile, intra_weights=[1.0, 1.0],
+    )
+    assert spec.levels[0].profile is profile
+    assert spec.levels[2].weights == [1.0, 1.0]
+
+
+def test_bad_level_kwargs_rejected():
+    with pytest.raises(TypeError, match="unknown HierarchicalSpec"):
+        HierarchicalSpec.of_levels("GSS", "SS", bogus=1)
+    with pytest.raises(TypeError, match="level 5"):
+        HierarchicalSpec.of_levels("GSS", "SS", level5_min_chunk=2)
+    with pytest.raises(ValueError, match="at least one level"):
+        HierarchicalSpec(levels=())
+
+
+def test_constructor_compat_forms():
+    inter, intra = LevelSpec.of("GSS"), LevelSpec.of("SS")
+    assert HierarchicalSpec(inter=inter, intra=intra).levels == (inter, intra)
+    assert HierarchicalSpec((inter, intra)).levels == (inter, intra)
+    with pytest.raises(TypeError, match="not both"):
+        HierarchicalSpec((inter,), inter=inter, intra=intra)
+    with pytest.raises(TypeError, match="both inter= and intra="):
+        HierarchicalSpec(inter=inter)
+
+
+def test_spec_equality_follows_levels():
+    a = HierarchicalSpec.of_levels("GSS", "SS")
+    levels = a.levels
+    assert a == HierarchicalSpec(levels=levels)
+    assert a != HierarchicalSpec.of_levels("GSS", "GSS")
+
+
+# ---------------------------------------------------------------------------
+# api-level stack syntax
+# ---------------------------------------------------------------------------
+
+
+def test_api_accepts_joined_stacks_and_omitted_intra():
+    wl = uniform_workload(300, seed=4)
+    cl = homogeneous(2, 8, sockets_per_node=2)
+    a = run_hierarchical(wl, cl, "GSS+FAC2+STATIC", approach="mpi+mpi", ppn=8)
+    b = run_hierarchical(wl, cl, "GSS", "FAC2+STATIC", approach="mpi+mpi", ppn=8)
+    assert a.spec_label == b.spec_label == "GSS+FAC2+STATIC"
+    assert a.parallel_time == b.parallel_time  # same stack, same simulation
+    verify_schedule(a.subchunks, wl.n)
+
+
+def test_api_rejects_malformed_stack():
+    wl = uniform_workload(50, seed=4)
+    with pytest.raises(ValueError, match="malformed"):
+        run_hierarchical(wl, homogeneous(1, 4), "GSS+", approach="mpi+mpi", ppn=4)
+
+
+def test_three_level_run_exposes_level_chunks():
+    wl = uniform_workload(400, seed=5)
+    result = run_hierarchical(
+        wl, homogeneous(2, 8, sockets_per_node=2),
+        "GSS+FAC2+STATIC", approach="mpi+mpi", ppn=8,
+    )
+    assert len(result.level_chunks) == 3
+    assert result.level_chunks[0] is result.chunks
+    assert result.level_chunks[-1] is result.subchunks
+    # socket tier sits strictly between the node and core tiers
+    assert 0 < len(result.level_chunks[1]) <= len(result.level_chunks[2])
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def test_cli_techniques_stack(capsys):
+    code = cli_main([
+        "run", "--techniques", "GSS+FAC2+STATIC", "--sockets", "2",
+        "--nodes", "2", "--ppn", "8", "--scale", "tiny",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "GSS+FAC2+STATIC" in out
+
+
+def test_cli_techniques_overrides_inter_intra(capsys):
+    code = cli_main([
+        "run", "--techniques", "TSS+SS", "--inter", "GSS",
+        "--intra", "STATIC", "--nodes", "2", "--ppn", "4", "--scale", "tiny",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "TSS+SS" in out
+
+
+# ---------------------------------------------------------------------------
+# grid sweep
+# ---------------------------------------------------------------------------
+
+
+def test_socket_variant_figure_sweeps_three_level_stacks():
+    from repro.experiments.figures import run_figure_spec, socket_variant
+
+    spec = socket_variant("fig5a", sockets_per_node=2)
+    assert spec.inter == "GSS"
+    assert spec.intras == (
+        "FAC2+STATIC", "FAC2+SS", "FAC2+GSS", "FAC2+TSS", "FAC2+FAC2"
+    )
+    small = spec.__class__(
+        figure_id=spec.figure_id,
+        paper_ref=spec.paper_ref,
+        app=spec.app,
+        inter=spec.inter,
+        intras=spec.intras[:2],
+        node_counts=(2,),
+        ppn=4,
+        sockets_per_node=2,
+    )
+    result = run_figure_spec(small, scale="tiny")
+    assert len(result.cells) == 4  # 2 intra stacks x 2 approaches x 1 node count
+    assert {c.label for c in result.cells} == {
+        "GSS+FAC2+STATIC", "GSS+FAC2+SS"
+    }
+    assert "2 sockets/node" in result.to_text(shape_checks=False)
+
+
+def test_grid_sweep_mixes_two_and_three_level_cells():
+    runner = GridRunner(
+        workload=uniform_workload(300, seed=6),
+        ppn=8,
+        node_counts=(1, 2),
+        cluster_factory=lambda n: minihpc(n, 8, sockets_per_node=2),
+    )
+    cells = runner.sweep(
+        "GSS",
+        ["STATIC", "FAC2+STATIC"],
+        [("mpi+mpi", lambda intra: True)],
+    )
+    assert len(cells) == 4
+    labels = {cell.label for cell in cells}
+    assert labels == {"GSS+STATIC", "GSS+FAC2+STATIC"}
+    assert all(cell.time > 0 for cell in cells)

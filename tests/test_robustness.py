@@ -171,7 +171,10 @@ def make_queue():
     run = _FakeRun()
     world = MpiWorld(run.sim, homogeneous(1, 4), ppn=4)
     shm = world.create_shared_window(0, {})
-    return _LocalQueue(run, 0, shm)
+    return _LocalQueue(
+        run, level=1, n_children=run.ppn, shm=shm,
+        rng_stream="intra-rnd.n0", parent=None, parent_pe=0,
+    )
 
 
 def test_local_queue_take_from_empty():
@@ -181,13 +184,13 @@ def test_local_queue_take_from_empty():
 
 def test_local_queue_deposit_take_exhaust():
     queue = make_queue()
-    queue.deposit(inter_step=0, start=100, size=40)
+    queue.deposit(src_step=0, start=100, size=40, ancestors=())
     taken = []
     while True:
         sub = queue.take(0)
         if sub is None:
             break
-        _head, start, size = sub
+        _head, start, size, _step = sub
         taken.append((start, size))
     assert sum(z for _, z in taken) == 40
     assert taken[0][0] == 100
@@ -200,8 +203,8 @@ def test_local_queue_deposit_take_exhaust():
 
 def test_local_queue_multiple_deposits_fifo():
     queue = make_queue()
-    queue.deposit(0, 0, 10)
-    queue.deposit(1, 50, 10)
+    queue.deposit(0, 0, 10, ())
+    queue.deposit(1, 50, 10, ())
     firsts = [queue.take(0)[1] for _ in range(2)]
     assert firsts[0] < 50  # head chunk drains first
 
@@ -210,9 +213,10 @@ def test_queued_chunk_remaining():
     from repro.core.techniques import get_technique
 
     chunk = _QueuedChunk(
-        inter_step=0, start=0, size=10,
+        src_step=0, start=0, size=10,
         calc=get_technique("SS").make(10, 2),
     )
     assert chunk.remaining == 10
+    assert chunk.inter_step == 0  # historical alias
     chunk.taken = 4
     assert chunk.remaining == 6

@@ -219,7 +219,7 @@ def test_state_dict_with_access_charging():
 def test_one_shared_window_per_node():
     world = make_world()
     world.create_shared_window(0, {"a": 0})
-    with pytest.raises(RuntimeError, match="already has a shared window"):
+    with pytest.raises(RuntimeError, match="already exists"):
         world.create_shared_window(0, {"b": 0})
 
 
