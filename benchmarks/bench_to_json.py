@@ -80,9 +80,10 @@ def collect(rounds: int = 30) -> Dict[str, Dict[str, float]]:
     # Hierarchical depth on a wide node: a fine-grained leaf (SS) makes
     # every worker hammer its local queue's lock.  With one flat node
     # queue all 16 workers poll one lock; splitting the node into 4
-    # socket queues (depth 3) divides the requesters per lock by 4.
-    # The simulated total poll wait is the paper-level result; the wall
-    # time tracks the event count the contention generates.
+    # socket queues (depth 3) divides the requesters per lock by 4, and
+    # per-NUMA queues (depth 4) divide them once more.  The simulated
+    # total poll wait is the paper-level result; the wall time tracks
+    # the event count the contention generates.
     from repro.api import run_hierarchical
     from repro.cluster.machine import homogeneous
     from repro.workloads import uniform_workload
@@ -90,23 +91,45 @@ def collect(rounds: int = 30) -> Dict[str, Dict[str, float]]:
     wl = uniform_workload(2000, low=5e-5, high=5e-4, seed=5)
     hier_rounds = max(5, rounds // 3)
 
-    def run_stack(stack: str, sockets: int):
+    def run_stack(stack: str, sockets: int, numa: int = 1):
         return run_hierarchical(
-            wl, homogeneous(1, 16, sockets_per_node=sockets),
+            wl,
+            homogeneous(1, 16, sockets_per_node=sockets, numa_per_socket=numa),
             inter=stack, approach="mpi+mpi", ppn=16, seed=0,
             collect_chunks=False,
         )
 
-    for key, stack, sockets in (
-        ("mpi_mpi_wide_node_two_level", "GSS+SS", 1),
-        ("mpi_mpi_wide_node_three_level_sockets", "GSS+FAC2+SS", 4),
+    for key, stack, sockets, numa in (
+        ("mpi_mpi_wide_node_two_level", "GSS+SS", 1, 1),
+        ("mpi_mpi_wide_node_three_level_sockets", "GSS+FAC2+SS", 4, 1),
+        ("mpi_mpi_wide_node_four_level_numa", "GSS+FAC2+FAC2+SS", 4, 2),
     ):
-        stats = _time_best(lambda: run_stack(stack, sockets), hier_rounds)
-        result = run_stack(stack, sockets)
+        stats = _time_best(lambda: run_stack(stack, sockets, numa), hier_rounds)
+        result = run_stack(stack, sockets, numa)
         stats["simulated_poll_wait_s"] = result.counters["total_poll_wait"]
         stats["lock_acquisitions"] = result.counters["lock_acquisitions"]
         stats["simulated_parallel_time_s"] = result.parallel_time
         results[key] = stats
+
+    # Topology-aware native groups: the same depth-4 stack on real
+    # threads, groups formed from the machine description.
+    from repro.core.hierarchy import HierarchicalSpec
+    from repro.native import NativeRunner
+    from repro.workloads import mandelbrot_workload
+
+    native_wl = mandelbrot_workload(width=48, height=48, max_iter=64)
+    native_cluster = homogeneous(1, 8, sockets_per_node=2, numa_per_socket=2)
+    native_spec = HierarchicalSpec.parse("GSS+FAC2+FAC2+SS")
+
+    def run_native():
+        return NativeRunner(native_wl, n_workers=8).run_hierarchical(
+            native_spec, topology=native_cluster
+        )
+
+    sample = run_native()
+    stats = _time_best(run_native, max(5, rounds // 3))
+    stats["n_leaf_groups"] = len(sample.groups)
+    results["native_topology_four_level"] = stats
 
     return results
 

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""NUMA tiers: depth-4 scheduling stacks and topology-aware threads.
+
+Shows the 4th machine tier end to end:
+
+1. a depth-4 ``W+X+Y+Z`` stack simulated under MPI+MPI on a cluster of
+   dual-socket nodes with sub-NUMA clustering, compared against the
+   paper-style depth-2 stack on the same hardware;
+2. the same spec running on *real threads* through the native
+   backend's topology-aware hierarchical mode, whose worker groups are
+   socket/NUMA-contiguous blocks formed from the machine description.
+
+Run:  python examples/numa_tiers.py
+"""
+
+from repro import run_hierarchical
+from repro.cluster.machine import homogeneous
+from repro.core.hierarchy import HierarchicalSpec
+from repro.native import NativeRunner
+from repro.workloads import mandelbrot_workload
+
+
+def main() -> None:
+    # 2 nodes x 2 sockets x 2 NUMA domains x 2 cores = 16 workers
+    cluster = homogeneous(2, 8, sockets_per_node=2, numa_per_socket=2)
+    workload = mandelbrot_workload(width=64, height=64, max_iter=128)
+    print(f"workload: {workload}")
+    print(
+        "machine: 2 nodes x 2 sockets x 2 NUMA/socket "
+        f"({cluster.total_cores} cores)\n"
+    )
+
+    # -- 1. simulated: depth-2 vs depth-4 on identical hardware ---------
+    for stack in ("GSS+SS", "GSS+FAC2+FAC2+SS"):
+        result = run_hierarchical(
+            workload, cluster, inter=stack, approach="mpi+mpi",
+            ppn=8, seed=0,
+        )
+        poll = result.counters["total_poll_wait"]
+        print(
+            f"mpi+mpi {stack:<20} T_par={result.parallel_time:.4f}s  "
+            f"simulated lock-poll wait={poll:.4f}s  "
+            f"levels={len(result.level_chunks)}"
+        )
+    print(
+        "\nThe fine-grained SS leaf hammers its local queue's lock; "
+        "per-NUMA queues\n(each with its own lock) divide the pollers "
+        "per lock versus one flat node\nqueue — same protocol, less "
+        "contention (paper Sec. 3, generalised).\n"
+    )
+
+    # -- 2. native threads: topology-aware groups -----------------------
+    runner = NativeRunner(workload, n_workers=16)
+    result = runner.run_hierarchical(
+        HierarchicalSpec.parse("GSS+FAC2+FAC2+SS"), topology=cluster
+    )
+    result.verify(workload.n)
+    print(
+        f"native  GSS+FAC2+FAC2+SS    wall={result.wall_seconds:.3f}s  "
+        f"{result.total_iterations} iterations on {result.n_workers} threads"
+    )
+    print("leaf tier groups (node, socket, numa) -> worker ids:")
+    for key in sorted(result.groups):
+        print(f"  {key} -> {result.groups[key]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,7 +30,8 @@ Quick start::
     )
     print(result.metrics.summary())
 
-See README.md for the full tour and DESIGN.md for the architecture.
+See README.md for the full tour and docs/ARCHITECTURE.md for the
+architecture.
 """
 
 from repro.api import run_hierarchical, run_model

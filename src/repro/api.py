@@ -75,7 +75,9 @@ def run_hierarchical(
         stack is the concatenation of both, so ``inter="GSS",
         intra="FAC2+STATIC"`` and ``inter="GSS+FAC2+STATIC"`` (with
         ``intra`` omitted) both produce the same three-level
-        cluster -> node -> socket -> core configuration.
+        cluster -> node -> socket configuration; a fourth level
+        schedules each socket's NUMA domains
+        (cluster -> node -> socket -> numa -> core).
     approach:
         ``"mpi+mpi"`` (paper's contribution), ``"mpi+openmp"``
         (baseline), ``"flat-mpi"`` or ``"master-worker"`` (ablations).

@@ -15,6 +15,10 @@ Examples::
               --ppn 16                       # three-level stack
               # (GSS across nodes, FAC2 across each node's sockets,
               #  STATIC across each socket's cores)
+    repro run --techniques GSS+FAC2+FAC2+STATIC --sockets 2 --numa 2 \
+              --nodes 4 --ppn 16             # four-level stack
+              # (… FAC2 across each socket's NUMA domains, STATIC
+              #  across each NUMA domain's cores)
 """
 
 from __future__ import annotations
@@ -124,7 +128,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         inter, intra = args.inter, args.intra
     result = run_hierarchical(
         workload,
-        minihpc(args.nodes, args.ppn, sockets_per_node=args.sockets),
+        minihpc(
+            args.nodes,
+            args.ppn,
+            sockets_per_node=args.sockets,
+            numa_per_socket=args.numa,
+        ),
         inter=inter,
         intra=intra,
         approach=args.approach,
@@ -199,15 +208,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--approach", default="mpi+mpi")
     p.add_argument("--inter", default="GSS")
     p.add_argument("--intra", default="STATIC")
-    p.add_argument("--techniques", default=None, metavar="X+Y[+Z]",
+    p.add_argument("--techniques", default=None, metavar="W+X[+Y[+Z]]",
                    help="full scheduling stack, one technique per level "
                         "(e.g. GSS+FAC2+STATIC schedules nodes, then each "
-                        "node's sockets, then each socket's cores); "
+                        "node's sockets, then each socket's cores; a 4th "
+                        "level schedules each socket's NUMA domains); "
                         "overrides --inter/--intra")
     p.add_argument("--nodes", type=int, default=4)
     p.add_argument("--sockets", type=int, default=1,
                    help="sockets per node (the machine tier a 3-level "
                         "stack schedules at)")
+    p.add_argument("--numa", type=int, default=1,
+                   help="NUMA domains per socket (the 4th machine tier a "
+                        "4-level stack schedules at)")
     p.add_argument("--ppn", type=int, default=16)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--scale", default=None,

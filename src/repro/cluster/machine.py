@@ -21,11 +21,20 @@ class NodeSpec:
         A workload iteration with nominal cost ``c`` takes ``c /
         (core_speed * per-core factor)`` seconds here.
     sockets:
-        Number of CPU sockets (NUMA domains); cores are split evenly
-        across them, so ``cores`` must be a multiple of ``sockets``.
-        The socket tier sits between node and core for three-level
-        scheduling stacks (``X+Y+Z``); the default of 1 reproduces the
-        paper's two-tier machine model.
+        Number of CPU sockets; cores are split evenly across them, so
+        ``cores`` must be a multiple of ``sockets``.  The socket tier
+        sits between node and core for three-level scheduling stacks
+        (``X+Y+Z``); the default of 1 reproduces the paper's two-tier
+        machine model.
+    numa_per_socket:
+        NUMA domains *within each socket* (sub-NUMA clustering /
+        cluster-on-die).  A socket and a NUMA domain are distinct
+        tiers: a dual-socket node has two NUMA domains even without
+        sub-NUMA clustering, and modern Xeons expose 2-4 NUMA domains
+        per socket.  Each socket's cores split evenly across its NUMA
+        domains, giving the 4th machine tier for depth-4 scheduling
+        stacks (``W+X+Y+Z``).  The default of 1 keeps every socket a
+        single NUMA domain (bit-exact with the pre-NUMA model).
     name:
         Diagnostic label.
     """
@@ -33,6 +42,7 @@ class NodeSpec:
     cores: int
     core_speed: float = 1.0
     sockets: int = 1
+    numa_per_socket: int = 1
     name: str = "node"
 
     def __post_init__(self) -> None:
@@ -47,16 +57,47 @@ class NodeSpec:
                 f"{self.cores} cores do not split evenly over "
                 f"{self.sockets} sockets"
             )
+        if self.numa_per_socket < 1:
+            raise ValueError(
+                f"node must have >= 1 NUMA domain per socket, "
+                f"got {self.numa_per_socket}"
+            )
+        if self.cores_per_socket % self.numa_per_socket != 0:
+            raise ValueError(
+                f"{self.cores_per_socket} cores per socket do not split "
+                f"evenly over {self.numa_per_socket} NUMA domains"
+            )
 
     @property
     def cores_per_socket(self) -> int:
         return self.cores // self.sockets
+
+    @property
+    def cores_per_numa(self) -> int:
+        """Cores in one NUMA domain (numbered NUMA-contiguously)."""
+        return self.cores_per_socket // self.numa_per_socket
+
+    @property
+    def numa_domains(self) -> int:
+        """Total NUMA domains on the node (sockets x numa_per_socket)."""
+        return self.sockets * self.numa_per_socket
 
     def socket_of_core(self, core: int) -> int:
         """Socket housing ``core`` (cores are numbered socket-contiguously)."""
         if not 0 <= core < self.cores:
             raise ValueError(f"core {core} outside node of {self.cores} cores")
         return core // self.cores_per_socket
+
+    def numa_of_core(self, core: int) -> int:
+        """NUMA domain housing ``core``, *within its socket*.
+
+        Cores are numbered NUMA-contiguously inside each socket, so the
+        cores of socket ``s`` split into ``numa_per_socket`` consecutive
+        runs of ``cores_per_numa`` cores each.
+        """
+        if not 0 <= core < self.cores:
+            raise ValueError(f"core {core} outside node of {self.cores} cores")
+        return (core % self.cores_per_socket) // self.cores_per_numa
 
 
 @dataclass(frozen=True)
@@ -115,6 +156,18 @@ class ClusterSpec:
             )
         return counts.pop()
 
+    @property
+    def numa_per_socket(self) -> int:
+        """Common NUMA-domains-per-socket, for uniform clusters (raises
+        on mixed)."""
+        counts = {node.numa_per_socket for node in self.nodes}
+        if len(counts) != 1:
+            raise ValueError(
+                f"cluster has mixed NUMA-per-socket counts {sorted(counts)}; "
+                "read NodeSpec.numa_per_socket per node"
+            )
+        return counts.pop()
+
     def node_of(self, index: int) -> NodeSpec:
         return self.nodes[index]
 
@@ -144,6 +197,7 @@ def homogeneous(
     network_bandwidth: float = 12.5e9,
     name: str = "cluster",
     sockets_per_node: int = 1,
+    numa_per_socket: int = 1,
 ) -> ClusterSpec:
     """Build a homogeneous cluster spec."""
     nodes = tuple(
@@ -151,6 +205,7 @@ def homogeneous(
             cores=cores_per_node,
             core_speed=core_speed,
             sockets=sockets_per_node,
+            numa_per_socket=numa_per_socket,
             name=f"{name}-n{i}",
         )
         for i in range(n_nodes)
@@ -167,6 +222,7 @@ def minihpc(
     n_nodes: int = 16,
     cores_per_node: int = 16,
     sockets_per_node: int = 1,
+    numa_per_socket: int = 1,
 ) -> ClusterSpec:
     """The paper's testbed slice: up to 16 identical Xeon nodes.
 
@@ -178,8 +234,10 @@ def minihpc(
 
     The physical nodes are dual-socket Xeon E5-2640v4; pass
     ``sockets_per_node=2`` to expose that tier for three-level
-    scheduling stacks.  The default of 1 keeps the paper's flat node
-    model (and the seed's exact behaviour) for two-level runs.
+    scheduling stacks, and ``numa_per_socket=2`` to additionally model
+    sub-NUMA clustering (the 4th machine tier, for depth-4 ``W+X+Y+Z``
+    stacks).  The defaults of 1 keep the paper's flat node model (and
+    the seed's exact behaviour) for two-level runs.
     """
     if not 1 <= n_nodes <= 16:
         raise ValueError("miniHPC has at most 16 identical Xeon nodes")
@@ -190,6 +248,7 @@ def minihpc(
         network_bandwidth=12.5e9,
         name="miniHPC",
         sockets_per_node=sockets_per_node,
+        numa_per_socket=numa_per_socket,
     )
 
 
@@ -200,8 +259,13 @@ def heterogeneous(
     network_bandwidth: float = 12.5e9,
     name: str = "hetero",
     socket_counts: Optional[Sequence[int]] = None,
+    numa_counts: Optional[Sequence[int]] = None,
 ) -> ClusterSpec:
-    """Build a heterogeneous cluster (used by WF/AWF tests and examples)."""
+    """Build a heterogeneous cluster (used by WF/AWF tests and examples).
+
+    ``numa_counts`` gives each node's NUMA-domains-per-socket (default 1
+    everywhere, the flat pre-NUMA model).
+    """
     if core_speeds is None:
         core_speeds = [1.0] * len(core_counts)
     if len(core_speeds) != len(core_counts):
@@ -210,9 +274,18 @@ def heterogeneous(
         socket_counts = [1] * len(core_counts)
     if len(socket_counts) != len(core_counts):
         raise ValueError("core_counts and socket_counts must have equal length")
+    if numa_counts is None:
+        numa_counts = [1] * len(core_counts)
+    if len(numa_counts) != len(core_counts):
+        raise ValueError("core_counts and numa_counts must have equal length")
     nodes = tuple(
-        NodeSpec(cores=c, core_speed=s, sockets=k, name=f"{name}-n{i}")
-        for i, (c, s, k) in enumerate(zip(core_counts, core_speeds, socket_counts))
+        NodeSpec(
+            cores=c, core_speed=s, sockets=k, numa_per_socket=m,
+            name=f"{name}-n{i}",
+        )
+        for i, (c, s, k, m) in enumerate(
+            zip(core_counts, core_speeds, socket_counts, numa_counts)
+        )
     )
     return ClusterSpec(
         nodes=nodes,

@@ -1,4 +1,4 @@
-"""Process placement: mapping MPI ranks to (node, socket, core) slots.
+"""Process placement: mapping MPI ranks to (node, socket, numa, core) slots.
 
 The paper's two execution models place processes differently:
 
@@ -11,14 +11,18 @@ Both are expressed through :func:`block_placement`, which is the only
 placement policy the reproduction needs; round-robin placement is
 provided for completeness and ablations.
 
-Every slot carries the full machine path ``(node, socket, core)``.
-Cores are numbered socket-contiguously (cores ``[s*cps, (s+1)*cps)``
-belong to socket ``s``), so block placement fills socket 0 before
-socket 1 and never splits a socket between two non-adjacent rank
-ranges — consecutive ranks share sockets exactly as ``--map-by core``
-binds them on real hardware.  Three-level scheduling stacks
-(node -> socket -> core) group ranks through :meth:`Placement.socket_of`
-and :meth:`Placement.ranks_on_socket`.
+Every slot carries the full machine path ``(node, socket, numa, core)``.
+Cores are numbered socket- and NUMA-contiguously (cores ``[s*cps,
+(s+1)*cps)`` belong to socket ``s``, and within a socket consecutive
+runs of ``cores_per_numa`` cores share a NUMA domain), so block
+placement fills socket 0 before socket 1 — and NUMA domain 0 before
+NUMA domain 1 within each socket — and never splits a tier group
+between two non-adjacent rank ranges; consecutive ranks share sockets
+and NUMA domains exactly as ``--map-by core`` binds them on real
+hardware.  Multi-level scheduling stacks (node -> socket -> numa ->
+core) group ranks through :meth:`Placement.socket_of` /
+:meth:`Placement.ranks_on_socket` and the NUMA analogues
+:meth:`Placement.numa_of` / :meth:`Placement.ranks_on_numa`.
 """
 
 from __future__ import annotations
@@ -31,16 +35,18 @@ from repro.cluster.machine import ClusterSpec
 
 @dataclass(frozen=True)
 class Placement:
-    """Immutable rank -> (node index, socket index, core index) mapping.
+    """Immutable rank -> (node, socket, numa, core) mapping.
 
-    ``socket`` is the socket *within the node* and ``core`` the core
-    *within the node* (not within the socket), so existing
-    ``(node, core)`` consumers are unaffected by the socket tier.
+    ``socket`` is the socket *within the node*, ``numa`` the NUMA
+    domain *within the socket*, and ``core`` the core *within the node*
+    (not within the socket or NUMA domain), so existing ``(node,
+    core)`` consumers are unaffected by the deeper tiers.
     """
 
     cluster: ClusterSpec
-    #: slots[rank] == (node_index, socket_index, core_index_within_node)
-    slots: Tuple[Tuple[int, int, int], ...]
+    #: slots[rank] == (node_index, socket_index, numa_index_within_socket,
+    #: core_index_within_node)
+    slots: Tuple[Tuple[int, int, int, int], ...]
 
     @property
     def size(self) -> int:
@@ -53,28 +59,46 @@ class Placement:
         """Socket (within its node) that ``rank``'s core belongs to."""
         return self.slots[rank][1]
 
-    def core_of(self, rank: int) -> int:
+    def numa_of(self, rank: int) -> int:
+        """NUMA domain (within its socket) that ``rank``'s core belongs to."""
         return self.slots[rank][2]
 
+    def core_of(self, rank: int) -> int:
+        return self.slots[rank][3]
+
     def ranks_on_node(self, node: int) -> List[int]:
-        return [r for r, (n, _, _) in enumerate(self.slots) if n == node]
+        return [r for r, (n, _, _, _) in enumerate(self.slots) if n == node]
 
     def ranks_on_socket(self, node: int, socket: int) -> List[int]:
         """Ranks bound to one socket (the socket-level communicator)."""
         return [
             r
-            for r, (n, s, _) in enumerate(self.slots)
+            for r, (n, s, _, _) in enumerate(self.slots)
             if n == node and s == socket
+        ]
+
+    def ranks_on_numa(self, node: int, socket: int, numa: int) -> List[int]:
+        """Ranks bound to one NUMA domain (the NUMA-level communicator)."""
+        return [
+            r
+            for r, (n, s, m, _) in enumerate(self.slots)
+            if n == node and s == socket and m == numa
         ]
 
     def sockets_on_node(self, node: int) -> List[int]:
         """Socket indices of ``node`` that hold at least one rank, sorted."""
-        return sorted({s for n, s, _ in self.slots if n == node})
+        return sorted({s for n, s, _, _ in self.slots if n == node})
+
+    def numas_on_socket(self, node: int, socket: int) -> List[int]:
+        """NUMA indices of one socket that hold at least one rank, sorted."""
+        return sorted(
+            {m for n, s, m, _ in self.slots if n == node and s == socket}
+        )
 
     def node_leaders(self) -> List[int]:
         """Lowest rank on each node, in node order (the 'coordinators')."""
         seen: dict[int, int] = {}
-        for rank, (node, _, _) in enumerate(self.slots):
+        for rank, (node, _, _, _) in enumerate(self.slots):
             seen.setdefault(node, rank)
         return [seen[n] for n in sorted(seen)]
 
@@ -88,23 +112,32 @@ class Placement:
         node, socket = self.node_of(rank), self.socket_of(rank)
         return self.ranks_on_socket(node, socket).index(rank)
 
+    def numa_rank(self, rank: int) -> int:
+        """Rank's index among the ranks of its own NUMA domain."""
+        node, socket, numa = (
+            self.node_of(rank), self.socket_of(rank), self.numa_of(rank)
+        )
+        return self.ranks_on_numa(node, socket, numa).index(rank)
+
 
 def block_placement(cluster: ClusterSpec, ppn: int) -> Placement:
     """Place ``ppn`` consecutive ranks on each node (MPI default `-map-by node`).
 
     ``ppn`` must not exceed any node's core count — the reproduction
     never oversubscribes cores, matching the paper's setup.  Within a
-    node, ranks fill cores (and therefore sockets) in order, so a rank
-    block never straddles a socket boundary it does not fully cover.
+    node, ranks fill cores (and therefore sockets and NUMA domains) in
+    order, so a rank block never straddles a tier boundary it does not
+    fully cover.
     """
-    slots: List[Tuple[int, int, int]] = []
+    slots: List[Tuple[int, int, int, int]] = []
     for node_index, node in enumerate(cluster.nodes):
         if ppn > node.cores:
             raise ValueError(
                 f"ppn={ppn} oversubscribes node {node.name} ({node.cores} cores)"
             )
         slots.extend(
-            (node_index, node.socket_of_core(core), core) for core in range(ppn)
+            (node_index, node.socket_of_core(core), node.numa_of_core(core), core)
+            for core in range(ppn)
         )
     return Placement(cluster=cluster, slots=tuple(slots))
 
@@ -112,7 +145,7 @@ def block_placement(cluster: ClusterSpec, ppn: int) -> Placement:
 def round_robin_placement(cluster: ClusterSpec, n_ranks: int) -> Placement:
     """Cyclic placement across nodes (ablation only)."""
     counters = [0] * cluster.n_nodes
-    slots: List[Tuple[int, int, int]] = []
+    slots: List[Tuple[int, int, int, int]] = []
     node = 0
     for _ in range(n_ranks):
         attempts = 0
@@ -122,7 +155,10 @@ def round_robin_placement(cluster: ClusterSpec, n_ranks: int) -> Placement:
             if attempts > cluster.n_nodes:
                 raise ValueError("not enough cores for requested ranks")
         core = counters[node]
-        slots.append((node, cluster.nodes[node].socket_of_core(core), core))
+        spec = cluster.nodes[node]
+        slots.append(
+            (node, spec.socket_of_core(core), spec.numa_of_core(core), core)
+        )
         counters[node] += 1
         node = (node + 1) % cluster.n_nodes
     return Placement(cluster=cluster, slots=tuple(slots))

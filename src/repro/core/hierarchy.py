@@ -8,15 +8,17 @@ with ``n = len(chunk)`` and ``p =`` the number of child units at that
 level).  The paper's MPI+MPI approach is the depth-2 instance — an
 **inter-node** technique paired with an **intra-node** technique,
 written ``X+Y`` (e.g. ``GSS+STATIC``: GSS across nodes, STATIC within
-a node) — but the same composition extends to the socket/NUMA tier
-sitting between node and core on modern clusters: ``GSS+FAC2+STATIC``
-schedules GSS across nodes, FAC2 across the sockets of each node, and
-STATIC across the cores of each socket.
+a node) — but the same composition extends to the socket and NUMA
+tiers sitting between node and core on modern clusters:
+``GSS+FAC2+STATIC`` schedules GSS across nodes, FAC2 across the
+sockets of each node, and STATIC across the cores of each socket,
+while the depth-4 ``GSS+FAC2+FAC2+STATIC`` adds FAC2 across the NUMA
+domains of each socket before the leaf splits a NUMA domain's cores.
 
 :class:`HierarchicalSpec` validates and carries such a level stack;
 the execution models in :mod:`repro.models` map levels onto machine
-tiers (cluster -> node -> socket -> core) and instantiate fresh
-calculators each time a tier's local queue is refilled.  The two-level
+tiers (cluster -> node -> socket -> numa -> core) and instantiate
+fresh calculators each time a tier's local queue is refilled.  The two-level
 constructor :meth:`HierarchicalSpec.of` and the ``inter``/``intra``
 accessors are kept as the compatibility surface for the paper's
 ``X+Y`` world.

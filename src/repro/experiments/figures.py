@@ -10,7 +10,7 @@ PASS/FAIL lines and EXPERIMENTS.md records them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.api import run_hierarchical
@@ -35,9 +35,10 @@ APPROACHES: List[Tuple[str, Callable[[str], bool]]] = [
 class FigureSpec:
     """One paper figure: an application swept under one inter technique.
 
-    ``intras`` entries may be ``+``-joined stacks (three-level
-    scheduling); ``sockets_per_node`` exposes the machine tier those
-    stacks schedule at (1 = the paper's flat node model).
+    ``intras`` entries may be ``+``-joined stacks (three- or four-level
+    scheduling); ``sockets_per_node`` and ``numa_per_socket`` expose
+    the machine tiers those stacks schedule at (1 = the paper's flat
+    node model).
     """
 
     figure_id: str
@@ -48,6 +49,7 @@ class FigureSpec:
     node_counts: Tuple[int, ...] = (2, 4, 8, 16)
     ppn: int = 16
     sockets_per_node: int = 1
+    numa_per_socket: int = 1
 
     @property
     def title(self) -> str:
@@ -56,6 +58,8 @@ class FigureSpec:
             if self.sockets_per_node > 1
             else ""
         )
+        if self.numa_per_socket > 1:
+            suffix += f", {self.numa_per_socket} NUMA/socket"
         return (
             f"{self.paper_ref}: {self.app} with {self.inter} inter-node "
             f"scheduling ({self.ppn} workers/node{suffix})"
@@ -76,15 +80,45 @@ def socket_variant(
         run_figure_spec(socket_variant("fig5a"))
     """
     base = FIGURES[figure_id]
-    return FigureSpec(
+    return replace(
+        base,
         figure_id=f"{base.figure_id}-s{sockets_per_node}",
         paper_ref=f"{base.paper_ref} ({sockets_per_node}-socket extension)",
-        app=base.app,
-        inter=base.inter,
         intras=tuple(f"{mid}+{intra}" for intra in base.intras),
-        node_counts=base.node_counts,
-        ppn=base.ppn,
         sockets_per_node=sockets_per_node,
+    )
+
+
+def numa_variant(
+    figure_id: str,
+    sockets_per_node: int = 2,
+    numa_per_socket: int = 2,
+    mid: str = "FAC2",
+    numa_mid: str = "FAC2",
+) -> FigureSpec:
+    """Derive the four-level (W+mid+numa_mid+Z) variant of a paper figure.
+
+    The depth-4 analogue of :func:`socket_variant`: same application,
+    inter technique and grid as the original, but on nodes with
+    ``sockets_per_node`` sockets of ``numa_per_socket`` NUMA domains
+    each; ``mid`` schedules each node's chunk across its sockets and
+    ``numa_mid`` each socket's sub-chunk across its NUMA domains, so
+    panel ``W+Z`` becomes ``W+mid+numa_mid+Z``.  Not part of the paper
+    — the three-level-series extension sweep one tier deeper::
+
+        run_figure_spec(numa_variant("fig5a"))
+    """
+    base = FIGURES[figure_id]
+    return replace(
+        base,
+        figure_id=f"{base.figure_id}-s{sockets_per_node}m{numa_per_socket}",
+        paper_ref=(
+            f"{base.paper_ref} ({sockets_per_node}-socket x "
+            f"{numa_per_socket}-NUMA extension)"
+        ),
+        intras=tuple(f"{mid}+{numa_mid}+{intra}" for intra in base.intras),
+        sockets_per_node=sockets_per_node,
+        numa_per_socket=numa_per_socket,
     )
 
 
@@ -269,16 +303,7 @@ def run_figure(
         raise KeyError(f"unknown figure {figure_id!r}; known: {sorted(FIGURES)}")
     spec = FIGURES[figure_id]
     if node_counts is not None:
-        spec = FigureSpec(
-            figure_id=spec.figure_id,
-            paper_ref=spec.paper_ref,
-            app=spec.app,
-            inter=spec.inter,
-            intras=spec.intras,
-            node_counts=tuple(node_counts),
-            ppn=spec.ppn,
-            sockets_per_node=spec.sockets_per_node,
-        )
+        spec = replace(spec, node_counts=tuple(node_counts))
     return run_figure_spec(
         spec, scale=scale, seed=seed, progress=progress, jobs=jobs,
         cache_dir=cache_dir,
@@ -302,7 +327,10 @@ def run_figure_spec(
         node_counts=spec.node_counts,
         seed=seed,
         cluster_factory=lambda n: minihpc(
-            n, spec.ppn, sockets_per_node=spec.sockets_per_node
+            n,
+            spec.ppn,
+            sockets_per_node=spec.sockets_per_node,
+            numa_per_socket=spec.numa_per_socket,
         ),
         progress=progress,
         jobs=jobs,

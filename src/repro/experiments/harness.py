@@ -118,7 +118,9 @@ class GridRunner:
     ``cluster_factory`` (e.g. ``lambda n: minihpc(n, 16,
     sockets_per_node=2)``) and ``+``-joined intra stacks
     (``intras=["STATIC", "FAC2+STATIC"]``) to compare two- and
-    three-level scheduling of the same figure grid.
+    three-level scheduling of the same figure grid; add
+    ``numa_per_socket=2`` to the factory and a second mid technique
+    (``intras=["FAC2+FAC2+STATIC"]``) for four-level NUMA sweeps.
     """
 
     workload: Workload

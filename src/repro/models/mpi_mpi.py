@@ -27,7 +27,7 @@ barrier at any point, which is exactly what Figure 3 illustrates.
 The paper composes exactly two levels (global queue across nodes +
 one local queue per node).  This implementation generalises the same
 protocol to an **arbitrary-depth level stack** mapped onto the machine
-tiers cluster -> node -> socket -> core:
+tiers cluster -> node -> socket -> numa -> core:
 
 * depth 1 — every rank fetches directly from the global queue
   (the flat distributed-chunk-calculation baseline, in-protocol);
@@ -38,7 +38,12 @@ tiers cluster -> node -> socket -> core:
   own lock*, so the fine-grained leaf grabs of a wide node contend on
   ``cores_per_socket`` peers instead of all ``ppn`` — socket-aware
   local queues cut the simulated lock-polling contention that makes
-  ``X+SS`` poor on wide nodes.
+  ``X+SS`` poor on wide nodes;
+* depth 4 — a per-NUMA-domain queue nests inside the per-socket queue
+  (``W+X+Y+Z``, e.g. ``GSS+FAC2+FAC2+STATIC``): again each NUMA
+  window carries its own lock, so leaf contention drops to
+  ``cores_per_numa`` peers and refill traffic climbs the tier tree
+  numa -> socket -> node -> global.
 
 A spec deeper than the machine's tier count raises ``ValueError``.
 """
@@ -55,8 +60,9 @@ from repro.sim.primitives import ComputeOnce
 from repro.smpi.shm import SharedWindow
 from repro.smpi.world import MpiWorld, RankCtx
 
-#: maximum scheduling depth: cluster->node, node->socket, socket->core
-MAX_LEVELS = 3
+#: maximum scheduling depth:
+#: cluster->node, node->socket, socket->numa, numa->core
+MAX_LEVELS = 4
 
 
 @dataclass
@@ -94,8 +100,8 @@ class _LocalQueue:
     ``parent`` is the queue one tier up (None when the parent is the
     global RMA queue); ``parent_pe`` is this queue's child index within
     its parent (the node index at tier 1, the socket's position within
-    its node at tier 2) — the ``pe`` argument for PE-dependent parent
-    techniques.
+    its node at tier 2, the NUMA domain's position within its socket at
+    tier 3) — the ``pe`` argument for PE-dependent parent techniques.
     """
 
     def __init__(
@@ -184,8 +190,8 @@ class MpiMpiModel(ExecutionModel):
         if depth > MAX_LEVELS:
             raise ValueError(
                 f"mpi+mpi maps scheduling levels onto machine tiers "
-                f"cluster->node->socket->core and therefore supports at most "
-                f"{MAX_LEVELS} levels; got a depth-{depth} stack "
+                f"cluster->node->socket->numa->core and therefore supports "
+                f"at most {MAX_LEVELS} levels; got a depth-{depth} stack "
                 f"({run.spec.label})"
             )
         run.n_sched_levels = depth
@@ -248,7 +254,8 @@ class MpiMpiModel(ExecutionModel):
         self, run: _Run, world: MpiWorld, queue: GlobalQueue, depth: int
     ) -> Dict[object, _LocalQueue]:
         """Create one local queue per tier group (tier 1: nodes, tier 2:
-        sockets), wired into a refill tree rooted at the global queue."""
+        sockets, tier 3: NUMA domains), wired into a refill tree rooted
+        at the global queue."""
         if depth == 1:
             return {}
         placement = world.placement
@@ -266,17 +273,35 @@ class MpiMpiModel(ExecutionModel):
                 parent_pe=node,
                 global_queue=queue,
             )
-            if depth == 3:
-                for position, socket in enumerate(sockets):
-                    members = placement.ranks_on_socket(node, socket)
-                    local_queues[(node, socket)] = _LocalQueue(
+            if depth < 3:
+                continue
+            for position, socket in enumerate(sockets):
+                members = placement.ranks_on_socket(node, socket)
+                numas = placement.numas_on_socket(node, socket)
+                socket_children = len(members) if depth == 3 else len(numas)
+                local_queues[(node, socket)] = _LocalQueue(
+                    run,
+                    level=2,
+                    n_children=socket_children,
+                    shm=world.create_shared_window((node, socket), {}),
+                    rng_stream=f"intra-rnd.n{node}.s{socket}",
+                    parent=local_queues[node],
+                    parent_pe=position,
+                )
+                if depth < 4:
+                    continue
+                for numa_position, numa in enumerate(numas):
+                    numa_members = placement.ranks_on_numa(node, socket, numa)
+                    local_queues[(node, socket, numa)] = _LocalQueue(
                         run,
-                        level=2,
-                        n_children=len(members),
-                        shm=world.create_shared_window((node, socket), {}),
-                        rng_stream=f"intra-rnd.n{node}.s{socket}",
-                        parent=local_queues[node],
-                        parent_pe=position,
+                        level=3,
+                        n_children=len(numa_members),
+                        shm=world.create_shared_window(
+                            (node, socket, numa), {}
+                        ),
+                        rng_stream=f"intra-rnd.n{node}.s{socket}.m{numa}",
+                        parent=local_queues[(node, socket)],
+                        parent_pe=numa_position,
                     )
         return local_queues
 
@@ -291,7 +316,12 @@ class MpiMpiModel(ExecutionModel):
         """The queue a rank grabs sub-chunks from, and its child index."""
         if depth == 2:
             return local_queues[ctx.node], ctx.local_rank
-        return local_queues[(ctx.node, ctx.socket)], ctx.socket_rank
+        if depth == 3:
+            return local_queues[(ctx.node, ctx.socket)], ctx.socket_rank
+        return (
+            local_queues[(ctx.node, ctx.socket, ctx.numa)],
+            ctx.numa_rank,
+        )
 
     # ------------------------------------------------------------------
     def _take_from(self, run: _Run, ctx: RankCtx, q: _LocalQueue, child: int):

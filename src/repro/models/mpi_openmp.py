@@ -28,6 +28,14 @@ chunk is carved across sockets by the middle technique
 next), and the outer worksharing loop ends in its own implicit barrier
 across sockets, just as the inner loops barrier across threads.  Depth
 2 executes the exact code path of the original two-level model.
+
+Four-level stacks (``W+X+Y+Z``) nest once more: each socket sub-chunk
+is carved by the level-2 technique across the socket's **NUMA
+domains** (one persistent *NUMA driver* + thread team per NUMA
+domain), with the leaf ``schedule`` clause inside each NUMA team and a
+per-socket implicit barrier across NUMA domains after every socket
+sub-chunk.  Depth 3 executes the exact code path of the original
+three-level implementation.
 """
 
 from __future__ import annotations
@@ -124,20 +132,24 @@ class MpiOpenMpModel(ExecutionModel):
 
     def _execute(self, run: _Run) -> None:
         depth = run.spec.depth
-        if depth == 3:
+        if depth in (3, 4):
             if self.nowait_selffetch:
                 raise ValueError(
                     "the nowait self-fetch variant (ablation A-3) is "
                     "defined for two-level stacks only; got "
                     f"{run.spec.label}"
                 )
-            self._execute_three_level(run)
+            if depth == 3:
+                self._execute_three_level(run)
+            else:
+                self._execute_four_level(run)
             return
         if depth != 2:
             raise ValueError(
                 "mpi+openmp composes one MPI level with OpenMP worksharing: "
-                "use a depth-2 stack (node -> core) or a depth-3 stack "
-                f"(node -> socket -> core); got depth {depth} "
+                "use a depth-2 stack (node -> core), a depth-3 stack "
+                "(node -> socket -> core) or a depth-4 stack "
+                f"(node -> socket -> numa -> core); got depth {depth} "
                 f"({run.spec.label})"
             )
         world, inter_calc, queue, omp_spec = self._setup(run)
@@ -360,6 +372,257 @@ class MpiOpenMpModel(ExecutionModel):
             t.stats()["total_grabs"] for t in teams.values()
         )
         run.counters["omp_outer_rounds"] = outer_rounds[0]
+
+    # ------------------------------------------------------------------
+    def _execute_four_level(self, run: _Run) -> None:
+        """Doubly-nested OpenMP: sockets, then NUMA domains, then threads.
+
+        The depth-3 structure repeated one tier down: per node and per
+        global chunk, the socket drivers self-schedule the level-1
+        technique's sub-chunks; each socket sub-chunk is then carved by
+        the level-2 technique across the socket's NUMA domains, whose
+        persistent *NUMA drivers* self-schedule grabs onto their thread
+        teams (one :class:`OmpTeam` per NUMA domain) running the leaf
+        ``schedule`` clause.  Each nesting level ends in its own
+        implicit barrier: NUMA drivers meet at a per-socket barrier
+        after every socket sub-chunk, sockets meet at the per-node
+        barrier after every global chunk.
+        """
+        run.n_sched_levels = 4
+        world, inter_calc, queue, omp_spec = self._setup(run)
+        n_threads = run.ppn
+
+        #: (node, socket, numa) -> team, plus bookkeeping for stats
+        teams: Dict[tuple, OmpTeam] = {}
+        numa_cores: Dict[tuple, List[int]] = {}
+        finish_times: Dict[int, float] = {}
+        outer_rounds = [0]
+        inner_rounds = [0]
+
+        def node_main(ctx: RankCtx):
+            sim = run.sim
+            node = ctx.node
+            node_spec = run.cluster.node_of(node)
+            #: socket -> numa -> [cores] (placement-occupied tiers only)
+            groups: Dict[int, Dict[int, List[int]]] = {}
+            for core in range(n_threads):
+                socket = node_spec.socket_of_core(core)
+                numa = node_spec.numa_of_core(core)
+                groups.setdefault(socket, {}).setdefault(numa, []).append(core)
+            sockets = sorted(groups)
+            n_sockets = len(sockets)
+            socket_numas = {socket: sorted(groups[socket]) for socket in sockets}
+            for socket in sockets:
+                for numa in socket_numas[socket]:
+                    team = OmpTeam(
+                        sim,
+                        len(groups[socket][numa]),
+                        run.costs,
+                        name=f"n{node}.s{socket}.m{numa}",
+                        weights=None,
+                        rng=sim.rng(f"omp-rnd.n{node}.s{socket}.m{numa}"),
+                        trace=run.trace,
+                    )
+                    teams[(node, socket, numa)] = team
+                    numa_cores[(node, socket, numa)] = groups[socket][numa]
+            omp = run.costs.omp
+            outer_barrier = Barrier(sim, n_sockets, name=f"omp-outer.n{node}")
+            outer_gate = {"gate": sim.event(f"omp-outer.n{node}.round0")}
+            inner_barriers = {
+                socket: Barrier(
+                    sim,
+                    len(socket_numas[socket]),
+                    name=f"omp-inner.n{node}.s{socket}",
+                )
+                for socket in sockets
+            }
+            inner_gates = {
+                socket: {"gate": sim.event(f"omp-inner.n{node}.s{socket}.round0")}
+                for socket in sockets
+            }
+            inner_counters = {socket: 0 for socket in sockets}
+
+            def body_time_for(socket: int, numa: int):
+                cores = numa_cores[(node, socket, numa)]
+
+                def body_time(start: int, size: int, tid: int) -> float:
+                    core = cores[tid]
+                    run.record_subchunk(0, start, size, pe=node * n_threads + core)
+                    return run.exec_time(start, size, node, core)
+
+                return body_time
+
+            body_times = {
+                (socket, numa): body_time_for(socket, numa)
+                for socket in sockets
+                for numa in socket_numas[socket]
+            }
+
+            def drive_numa_round(socket: int, numa_pos: int, round_: _OuterRound):
+                """One NUMA driver's share of one socket sub-chunk."""
+                numa = socket_numas[socket][numa_pos]
+                team = teams[(node, socket, numa)]
+                while True:
+                    yield Overhead(omp.atomic + run.costs.chunk_calc)
+                    grabbed = round_.grab(numa_pos)
+                    if grabbed is None:
+                        break
+                    step, sub_start, sub_size = grabbed
+                    run.record_level_chunk(2, step, sub_start, sub_size, pe=numa_pos)
+                    t0 = sim.now
+                    yield from team.parallel_for(
+                        sub_start, sub_size, omp_spec, body_times[(socket, numa)]
+                    )
+                    round_.calc.record(
+                        numa_pos, sub_size, compute_time=sim.now - t0
+                    )
+                # the inner worksharing loop's own implicit barrier
+                yield Overhead(omp.barrier_time(len(socket_numas[socket])))
+                yield from inner_barriers[socket].wait()
+
+            def numa_driver_main(socket: int, numa_pos: int):
+                gate = inner_gates[socket]["gate"]
+                while True:
+                    round_ = yield gate
+                    gate = inner_gates[socket]["gate"]
+                    if round_ is None:
+                        return
+                    yield from drive_numa_round(socket, numa_pos, round_)
+
+            def drive_socket_round(socket_pos: int, round_: _OuterRound):
+                """One socket driver's share of one global chunk: grab
+                socket sub-chunks, carve each across the NUMA teams."""
+                socket = sockets[socket_pos]
+                n_numa = len(socket_numas[socket])
+                while True:
+                    yield Overhead(omp.atomic + run.costs.chunk_calc)
+                    grabbed = round_.grab(socket_pos)
+                    if grabbed is None:
+                        break
+                    step, sub_start, sub_size = grabbed
+                    run.record_level_chunk(1, step, sub_start, sub_size, pe=socket_pos)
+                    numa_calc = run.spec.levels[2].make_calculator(
+                        sub_size,
+                        n_numa,
+                        rng=sim.rng(f"numa-rnd.n{node}.s{socket}"),
+                        chunk_overhead=run.costs.chunk_calc,
+                    )
+                    inner = _OuterRound(
+                        src_step=step, start=sub_start, size=sub_size,
+                        calc=numa_calc,
+                    )
+                    inner_counters[socket] += 1
+                    inner_rounds[0] += 1
+                    gate, inner_gates[socket]["gate"] = (
+                        inner_gates[socket]["gate"],
+                        sim.event(
+                            f"omp-inner.n{node}.s{socket}"
+                            f".round{inner_counters[socket]}"
+                        ),
+                    )
+                    gate.trigger(inner)
+                    t0 = sim.now
+                    yield from drive_numa_round(socket, 0, inner)
+                    round_.calc.record(
+                        socket_pos, sub_size, compute_time=sim.now - t0
+                    )
+                # the outer worksharing loop's own implicit barrier
+                yield Overhead(omp.barrier_time(n_sockets))
+                yield from outer_barrier.wait()
+
+            def socket_driver_main(socket_pos: int):
+                gate = outer_gate["gate"]
+                while True:
+                    round_ = yield gate
+                    gate = outer_gate["gate"]
+                    if round_ is None:
+                        return
+                    yield from drive_socket_round(socket_pos, round_)
+
+            # the rank process drives socket 0 / NUMA 0; every other tier
+            # group gets a persistent driver process (thread 0 of its team)
+            teams[(node, sockets[0], socket_numas[sockets[0]][0])].driver_process = (
+                ctx.process
+            )
+            for pos in range(1, n_sockets):
+                socket = sockets[pos]
+                process = sim.spawn(
+                    socket_driver_main(pos), name=f"n{node}.s{socket}.drv"
+                )
+                teams[(node, socket, socket_numas[socket][0])].driver_process = (
+                    process
+                )
+            for socket in sockets:
+                for numa_pos in range(1, len(socket_numas[socket])):
+                    numa = socket_numas[socket][numa_pos]
+                    process = sim.spawn(
+                        numa_driver_main(socket, numa_pos),
+                        name=f"n{node}.s{socket}.m{numa}.drv",
+                    )
+                    teams[(node, socket, numa)].driver_process = process
+
+            round_index = 0
+            while True:
+                step, start, size = yield from queue.next_chunk(ctx, pe=node)
+                if size <= 0:
+                    break
+                run.record_chunk(step, start, size, pe=node)
+                mid_calc = run.spec.levels[1].make_calculator(
+                    size,
+                    n_sockets,
+                    rng=sim.rng(f"mid-rnd.n{node}"),
+                    chunk_overhead=run.costs.chunk_calc,
+                )
+                round_ = _OuterRound(
+                    src_step=step, start=start, size=size, calc=mid_calc
+                )
+                round_index += 1
+                outer_rounds[0] += 1
+                gate, outer_gate["gate"] = outer_gate["gate"], sim.event(
+                    f"omp-outer.n{node}.round{round_index}"
+                )
+                gate.trigger(round_)
+                t0 = sim.now
+                yield from drive_socket_round(0, round_)
+                # runtime feedback for adaptive inter-node techniques
+                inter_calc.record(node, size, compute_time=sim.now - t0)
+            finish_times[node] = sim.now
+            outer_gate["gate"].trigger(None)
+            for socket in sockets:
+                inner_gates[socket]["gate"].trigger(None)
+            for socket in sockets:
+                for numa in socket_numas[socket]:
+                    teams[(node, socket, numa)].shutdown()
+
+        world.run(node_main)
+
+        # Per-worker stats: each OpenMP thread of each NUMA team is a
+        # worker; thread 0 of every team is its driver (the rank process
+        # for the very first team of each node).
+        for ctx in world.contexts:
+            node = ctx.node
+            node_keys = sorted(k for k in teams if k[0] == node)
+            for key in node_keys:
+                team = teams[key]
+                thread_processes = [team.driver_process, *team.threads]
+                executed, grabs = self._team_thread_stats(team)
+                for tid, process in enumerate(thread_processes):
+                    run.record_worker(
+                        name=f"n{node}.s{key[1]}.m{key[2]}.t{tid}",
+                        node=node,
+                        finish_time=finish_times[node],
+                        process=process,
+                        n_chunks=grabs.get(tid, 0),
+                        n_iterations=executed.get(tid, 0),
+                    )
+        run.counters["global_atomics"] = queue.window.n_atomics
+        run.counters["remote_atomics"] = queue.window.n_remote_atomics
+        run.counters["omp_phases"] = sum(len(t.phases) for t in teams.values())
+        run.counters["omp_grabs"] = sum(
+            t.stats()["total_grabs"] for t in teams.values()
+        )
+        run.counters["omp_outer_rounds"] = outer_rounds[0]
+        run.counters["omp_inner_rounds"] = inner_rounds[0]
 
     # ------------------------------------------------------------------
     def _selffetch_main(self, run, ctx, queue, team, omp_spec, body_time):

@@ -10,6 +10,18 @@ Two execution modes mirror the paper's architectures on one machine:
   first — exactly the MPI+MPI design with threads standing in for MPI
   processes and a ``threading.Lock`` standing in for ``MPI_Win_lock``.
 
+The hierarchical mode is **topology-aware**: pass ``topology=`` (a
+:class:`~repro.cluster.machine.NodeSpec` or
+:class:`~repro.cluster.machine.ClusterSpec`) and the groups are formed
+from the machine's placement — socket/NUMA-contiguous worker blocks,
+one local queue *per machine-tier group* with its own lock, mirroring
+the simulator's per-level queues (per-node, per-socket, per-NUMA
+shared windows).  A depth-``d`` spec then maps onto the machine tiers
+exactly as :class:`repro.models.MpiMpiModel` maps it, so properties
+proven in the simulator transfer to real threaded runs of the same
+stack.  The legacy ``n_groups`` form (flat modular striping) remains
+for untopologised runs.
+
 Every grab goes through the same :class:`ChunkCalculator` objects the
 simulator uses, so schedule correctness properties proven in the
 simulator transfer to real executions.
@@ -20,13 +32,18 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.cluster.machine import ClusterSpec, NodeSpec
 from repro.core.chunking import Chunk, verify_schedule
 from repro.core.hierarchy import HierarchicalSpec, LevelSpec
 from repro.workloads.base import Workload
+
+#: a leaf/interior tier-group key: the machine path of the group, e.g.
+#: ``(node,)``, ``(node, socket)`` or ``(node, socket, numa)``
+GroupKey = Tuple[int, ...]
 
 
 @dataclass
@@ -45,6 +62,13 @@ class NativeResult:
     per_worker_busy: Dict[int, float]
     #: concatenated kernel outputs, indexable by iteration (if collected)
     outputs: Optional[Dict[int, Any]] = field(default=None, repr=False)
+    #: topology-aware runs only: leaf tier-group key -> member worker ids
+    groups: Optional[Dict[GroupKey, List[int]]] = field(default=None, repr=False)
+    #: topology-aware runs only: tier-group key -> deposited (start, size)
+    #: ranges, in deposit order (every queue tier, not just leaves)
+    group_deposits: Optional[Dict[GroupKey, List[Tuple[int, int]]]] = field(
+        default=None, repr=False
+    )
 
     @property
     def total_iterations(self) -> int:
@@ -80,16 +104,38 @@ class _GlobalQueue:
 
 
 class _LocalQueue:
-    """Per-group queue: the shared-memory local work queue analogue."""
+    """Per-group queue: the shared-memory local work queue analogue.
 
-    def __init__(self, spec: LevelSpec, group_size: int):
+    ``parent``/``parent_pe`` wire tier queues into a refill tree for
+    topology-aware runs — ``parent`` is the queue one machine tier up
+    (None when the parent is the global queue) and ``parent_pe`` this
+    queue's child index within it, exactly like the simulator's
+    ``_LocalQueue``.  The legacy flat-striping mode uses a single tier
+    with no parent.  Each queue owns its own lock (the per-tier
+    ``MPI_Win_lock`` analogue) and logs its deposits for the
+    group-containment tests.
+    """
+
+    def __init__(
+        self,
+        spec: LevelSpec,
+        group_size: int,
+        parent: "Optional[_LocalQueue]" = None,
+        parent_pe: int = 0,
+        key: Optional[GroupKey] = None,
+    ):
         self.spec = spec
         self.group_size = group_size
         self.lock = threading.Lock()
         self.ranges: List[Dict[str, Any]] = []
         self.global_done = False
+        self.parent = parent
+        self.parent_pe = parent_pe
+        self.key = key
+        self.deposits: List[Tuple[int, int]] = []
 
     def deposit(self, start: int, size: int) -> None:
+        self.deposits.append((start, size))
         self.ranges.append(
             {
                 "start": start,
@@ -161,16 +207,37 @@ class NativeRunner:
     def run_hierarchical(
         self,
         spec: HierarchicalSpec,
-        n_groups: int,
+        n_groups: Optional[int] = None,
+        *,
+        topology: Union[NodeSpec, ClusterSpec, None] = None,
     ) -> NativeResult:
-        """Two-level scheduling: groups with local queues (MPI+MPI style).
+        """Multi-level scheduling: groups with local queues (MPI+MPI style).
 
-        Deeper stacks project onto the native thread pool's two tiers:
-        the root level (``spec.inter``) feeds the global queue and the
-        leaf level (``spec.intra``) carves each group's deposits —
-        intermediate levels have no thread-pool tier to map to here and
-        are exercised by the simulator models instead.
+        Two group-forming policies:
+
+        * ``topology=`` (a :class:`NodeSpec` or :class:`ClusterSpec`) —
+          **topology-aware**: workers bind to machine cores in placement
+          order and one local queue exists per occupied machine-tier
+          group, each with its own lock.  A :class:`NodeSpec` exposes
+          the tiers node -> socket -> numa (the node is the global
+          queue; depth <= 3), a :class:`ClusterSpec` exposes
+          cluster -> node -> socket -> numa (depth <= 4), so a depth-4
+          ``W+X+Y+Z`` stack runs through the same refill tree as the
+          simulator's :class:`~repro.models.MpiMpiModel`.
+        * ``n_groups`` — legacy flat modular striping: worker ``w``
+          belongs to group ``w // (n_workers / n_groups)``; only
+          ``spec.inter`` and ``spec.intra`` are used (intermediate
+          levels have no tier to map to).
         """
+        if topology is not None:
+            if n_groups is not None:
+                raise TypeError("pass either n_groups or topology=, not both")
+            return self._run_hierarchical_topology(spec, topology)
+        if n_groups is None:
+            raise TypeError(
+                "run_hierarchical needs n_groups (flat striping) or "
+                "topology= (socket/NUMA-aware groups)"
+            )
         if self.n_workers % n_groups != 0:
             raise ValueError(
                 f"{self.n_workers} workers cannot form {n_groups} equal groups"
@@ -205,6 +272,153 @@ class NativeRunner:
                 record(pe, -1, start, size)
 
         return self._execute("hierarchical", worker_loop)
+
+    # ------------------------------------------------------------------
+    def _run_hierarchical_topology(
+        self, spec: HierarchicalSpec, topology: Union[NodeSpec, ClusterSpec]
+    ) -> NativeResult:
+        """Topology-aware hierarchical mode: placement-derived groups."""
+        slots = self._tier_paths(topology)
+        if self.n_workers > len(slots):
+            raise ValueError(
+                f"{self.n_workers} workers oversubscribe the topology's "
+                f"{len(slots)} cores"
+            )
+        # workers bind to the placement prefix, like ppn < cores in the
+        # simulator: tier groups follow the placement, not the raw machine
+        slots = slots[: self.n_workers]
+        depth = spec.depth
+        max_depth = 1 + len(slots[0])
+        if not 2 <= depth <= max_depth:
+            raise ValueError(
+                f"a {type(topology).__name__} topology maps stacks of depth "
+                f"2..{max_depth}; got a depth-{depth} stack ({spec.label})"
+            )
+
+        n_tiers = depth - 1
+        tier_keys: List[List[GroupKey]] = []
+        for tier in range(n_tiers):
+            keys: List[GroupKey] = []
+            for path in slots:
+                if path[tier] not in keys:
+                    keys.append(path[tier])
+            tier_keys.append(keys)
+        leaf_members: Dict[GroupKey, List[int]] = {}
+        for worker, path in enumerate(slots):
+            leaf_members.setdefault(path[n_tiers - 1], []).append(worker)
+
+        inter_calc = spec.inter.make_calculator(
+            self.workload.n, len(tier_keys[0]), rng=np.random.default_rng(0)
+        )
+        queue = _GlobalQueue(inter_calc, self.workload.n)
+        queues: Dict[GroupKey, _LocalQueue] = {}
+        for tier, keys in enumerate(tier_keys):
+            for key in keys:
+                if tier + 1 < n_tiers:
+                    n_children = sum(
+                        1
+                        for child in tier_keys[tier + 1]
+                        if child[: len(key)] == key
+                    )
+                else:
+                    n_children = len(leaf_members[key])
+                siblings = [k for k in keys if k[:-1] == key[:-1]]
+                queues[key] = _LocalQueue(
+                    spec.levels[tier + 1],
+                    n_children,
+                    parent=queues[key[:-1]] if tier > 0 else None,
+                    parent_pe=siblings.index(key),
+                    key=key,
+                )
+
+        def worker_loop(pe: int, record) -> None:
+            leaf = queues[slots[pe][n_tiers - 1]]
+            child = leaf_members[leaf.key].index(pe)
+            while True:
+                sub = self._take_tiered(leaf, queue, child)
+                if sub is None:
+                    return
+                start, size = sub
+                record(pe, -1, start, size)
+
+        result = self._execute("hierarchical", worker_loop)
+        result.groups = {key: list(v) for key, v in leaf_members.items()}
+        result.group_deposits = {
+            key: list(q.deposits) for key, q in queues.items()
+        }
+        return result
+
+    @staticmethod
+    def _tier_paths(
+        topology: Union[NodeSpec, ClusterSpec],
+    ) -> List[Tuple[GroupKey, ...]]:
+        """Per-core machine paths, one prefix tuple per tier.
+
+        A :class:`NodeSpec` machine contributes ``((socket,), (socket,
+        numa))`` per core (the node itself is the global queue); a
+        :class:`ClusterSpec` contributes ``((node,), (node, socket),
+        (node, socket, numa))``.
+        """
+        if isinstance(topology, NodeSpec):
+            return [
+                (
+                    (topology.socket_of_core(core),),
+                    (topology.socket_of_core(core), topology.numa_of_core(core)),
+                )
+                for core in range(topology.cores)
+            ]
+        if isinstance(topology, ClusterSpec):
+            paths: List[Tuple[GroupKey, ...]] = []
+            for node_index, node in enumerate(topology.nodes):
+                for core in range(node.cores):
+                    socket = node.socket_of_core(core)
+                    numa = node.numa_of_core(core)
+                    paths.append(
+                        (
+                            (node_index,),
+                            (node_index, socket),
+                            (node_index, socket, numa),
+                        )
+                    )
+            return paths
+        raise TypeError(
+            f"topology must be a NodeSpec or ClusterSpec, "
+            f"got {type(topology).__name__}"
+        )
+
+    def _take_tiered(
+        self, q: _LocalQueue, global_queue: _GlobalQueue, child: int
+    ) -> Optional[Tuple[int, int]]:
+        """Take from ``q``, refilling through the tier tree when dry.
+
+        The caller-side analogue of the simulator's ``_take_from``: the
+        worker holds ``q``'s lock across the parent fetch (paper Fig. 1
+        steps 1-2), and the parent fetch recurses — acquiring the
+        parent's own lock — up to the global queue.  Lock order is
+        strictly child -> parent, so the tiered locks cannot deadlock.
+        """
+        with q.lock:
+            while True:
+                sub = q.take(child)
+                if sub is not None:
+                    return sub
+                if q.global_done:
+                    return None
+                if q.parent is None:
+                    grabbed = global_queue.next_chunk(q.parent_pe)
+                    if grabbed is None:
+                        q.global_done = True
+                        return None
+                    _step, start, size = grabbed
+                else:
+                    parent_sub = self._take_tiered(
+                        q.parent, global_queue, q.parent_pe
+                    )
+                    if parent_sub is None:
+                        q.global_done = True
+                        return None
+                    start, size = parent_sub
+                q.deposit(start, size)
 
     # ------------------------------------------------------------------
     def _execute(self, mode: str, worker_loop) -> NativeResult:

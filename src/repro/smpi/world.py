@@ -84,9 +84,9 @@ class MpiWorld:
 
         ``node`` is the window's key: a node index for the classic
         per-node local queue, or any hashable (e.g. a ``(node, socket)``
-        tuple) for the finer-grained windows of deeper scheduling
-        stacks — each key gets its own lock, so socket-level queues do
-        not contend on the node lock.
+        or ``(node, socket, numa)`` tuple) for the finer-grained windows
+        of deeper scheduling stacks — each key gets its own lock, so
+        socket- and NUMA-level queues do not contend on the node lock.
         """
         if node in self._shared_windows:
             raise RuntimeError(f"shared window {node!r} already exists")
@@ -118,9 +118,11 @@ class RankCtx:
         self.rank = rank
         self.node = world.placement.node_of(rank)
         self.socket = world.placement.socket_of(rank)
+        self.numa = world.placement.numa_of(rank)
         self.core = world.placement.core_of(rank)
         self.local_rank = rank - min(world.placement.ranks_on_node(self.node))
         self.socket_rank = world.placement.socket_rank(rank)
+        self.numa_rank = world.placement.numa_rank(rank)
         self.process: Optional[Process] = None
 
     # -- introspection ---------------------------------------------------

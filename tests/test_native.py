@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.cluster.machine import ClusterSpec, NodeSpec, homogeneous
 from repro.core.hierarchy import HierarchicalSpec
 from repro.native import NativeRunner
 from repro.workloads import Workload, mandelbrot_workload
@@ -90,3 +91,123 @@ def test_outputs_not_collected_by_default(workload):
     runner = NativeRunner(workload, n_workers=2)
     result = runner.run_flat("GSS")
     assert result.outputs is None
+
+
+# ---------------------------------------------------------------------------
+# topology-aware hierarchical mode
+# ---------------------------------------------------------------------------
+
+
+def leaf_group_of(result, worker):
+    return next(k for k, members in result.groups.items() if worker in members)
+
+
+def assert_group_containment(result):
+    """Every chunk a worker executed lies inside a range deposited into
+    that worker's own leaf tier queue (never a foreign group's)."""
+    for chunk in result.chunks:
+        key = leaf_group_of(result, chunk.pe)
+        assert any(
+            start <= chunk.start and chunk.end <= start + size
+            for start, size in result.group_deposits[key]
+        ), f"chunk {chunk} escapes its group {key}'s deposits"
+
+
+def test_topology_node_socket_groups(workload, serial):
+    """Depth-2 on a dual-socket node: one group per socket, made of
+    socket-contiguous workers (not modular stripes)."""
+    node = NodeSpec(cores=8, sockets=2)
+    runner = NativeRunner(workload, n_workers=8, collect_outputs=True)
+    result = runner.run_hierarchical(
+        HierarchicalSpec.of("GSS", "FAC2"), topology=node
+    )
+    result.verify(workload.n)
+    assert np.array_equal(assemble(result, workload, serial.dtype), serial)
+    assert result.groups == {(0,): [0, 1, 2, 3], (1,): [4, 5, 6, 7]}
+    assert_group_containment(result)
+
+
+def test_topology_numa_groups_are_contiguous(workload):
+    """Depth-3 on a socketed NUMA node: leaf groups are NUMA-contiguous
+    worker blocks and deposits nest socket -> NUMA."""
+    node = NodeSpec(cores=8, sockets=2, numa_per_socket=2)
+    runner = NativeRunner(workload, n_workers=8)
+    result = runner.run_hierarchical(
+        HierarchicalSpec.parse("GSS+FAC2+SS"), topology=node
+    )
+    result.verify(workload.n)
+    assert result.groups == {
+        (0, 0): [0, 1], (0, 1): [2, 3], (1, 0): [4, 5], (1, 1): [6, 7],
+    }
+    assert_group_containment(result)
+    # NUMA deposits nest inside their socket's deposits
+    for key, deposits in result.group_deposits.items():
+        if len(key) != 2:
+            continue
+        socket_ranges = result.group_deposits[key[:1]]
+        for start, size in deposits:
+            assert any(
+                s <= start and start + size <= s + z
+                for s, z in socket_ranges
+            ), f"NUMA deposit ({start}, {size}) escapes socket {key[:1]}"
+
+
+def test_topology_cluster_depth_four(workload, serial):
+    """A depth-4 W+X+Y+Z stack runs through the full tier tree."""
+    cluster = homogeneous(2, 8, sockets_per_node=2, numa_per_socket=2)
+    runner = NativeRunner(workload, n_workers=16, collect_outputs=True)
+    result = runner.run_hierarchical(
+        HierarchicalSpec.parse("GSS+FAC2+FAC2+SS"), topology=cluster
+    )
+    result.verify(workload.n)
+    assert np.array_equal(assemble(result, workload, serial.dtype), serial)
+    assert len(result.groups) == 8  # 2 nodes x 2 sockets x 2 NUMA
+    assert_group_containment(result)
+
+
+def test_topology_partial_occupancy(workload):
+    """Fewer workers than cores: groups follow the placement prefix."""
+    node = NodeSpec(cores=8, sockets=2, numa_per_socket=2)
+    runner = NativeRunner(workload, n_workers=5)
+    result = runner.run_hierarchical(
+        HierarchicalSpec.parse("GSS+SS"), topology=node
+    )
+    result.verify(workload.n)
+    assert result.groups == {(0,): [0, 1, 2, 3], (1,): [4]}
+
+
+def test_topology_rejects_bad_arguments(workload):
+    runner = NativeRunner(workload, n_workers=4)
+    with pytest.raises(TypeError, match="not both"):
+        runner.run_hierarchical(
+            HierarchicalSpec.of("GSS", "SS"), n_groups=2,
+            topology=NodeSpec(cores=4),
+        )
+    with pytest.raises(TypeError, match="n_groups .*or"):
+        runner.run_hierarchical(HierarchicalSpec.of("GSS", "SS"))
+    with pytest.raises(ValueError, match="oversubscribe"):
+        runner.run_hierarchical(
+            HierarchicalSpec.of("GSS", "SS"), topology=NodeSpec(cores=2)
+        )
+    with pytest.raises(ValueError, match="depth-4"):
+        runner.run_hierarchical(
+            HierarchicalSpec.parse("GSS+FAC2+FAC2+SS"),
+            topology=NodeSpec(cores=4, sockets=2, numa_per_socket=2),
+        )
+    with pytest.raises(TypeError, match="NodeSpec or ClusterSpec"):
+        runner.run_hierarchical(
+            HierarchicalSpec.of("GSS", "SS"), topology="dual-socket"
+        )
+
+
+def test_topology_matches_flat_striping_when_degenerate(workload):
+    """A 1-socket NodeSpec is one group — identical schedule to the
+    legacy n_groups=1 striping (same calculators, same protocol)."""
+    spec = HierarchicalSpec.of("GSS", "FAC2")
+    runner = NativeRunner(workload, n_workers=4)
+    topo = runner.run_hierarchical(spec, topology=NodeSpec(cores=4))
+    legacy = runner.run_hierarchical(spec, n_groups=1)
+    assert topo.total_iterations == legacy.total_iterations == workload.n
+    assert sorted((c.start, c.size) for c in topo.chunks) == sorted(
+        (c.start, c.size) for c in legacy.chunks
+    )

@@ -1,8 +1,8 @@
 """Property-based tests for arbitrary-depth hierarchical scheduling.
 
-For random level stacks (depth 1-3), random techniques per level,
-random topologies (nodes, sockets, ppn) and random loop sizes, the
-depth-generalised models must always:
+For random level stacks (depth 1-4), random techniques per level,
+random topologies (nodes, sockets, NUMA domains, ppn) and random loop
+sizes, the depth-generalised models must always:
 
 (a) schedule every iteration exactly once (coverage, no overlap);
 (b) hand out only positive chunk sizes at every level;
@@ -35,11 +35,11 @@ workloads = st.builds(
 )
 
 stacks = st.lists(
-    st.sampled_from(TECHNIQUES), min_size=1, max_size=3
+    st.sampled_from(TECHNIQUES), min_size=1, max_size=4
 )
 
 adaptive_stacks = st.lists(
-    st.sampled_from(TECHNIQUES + ADAPTIVE), min_size=2, max_size=3
+    st.sampled_from(TECHNIQUES + ADAPTIVE), min_size=2, max_size=4
 ).filter(lambda stack: any(t in ADAPTIVE for t in stack))
 
 
@@ -62,13 +62,17 @@ def check_level_invariants(result, n: int) -> None:
     stack=stacks,
     nodes=st.integers(min_value=1, max_value=3),
     sockets=st.sampled_from([1, 2, 4]),
+    numa=st.sampled_from([1, 2]),
     ppn=st.integers(min_value=1, max_value=8),
     seed=st.integers(min_value=0, max_value=100),
 )
 @settings(max_examples=80, deadline=None)
-def test_mpi_mpi_any_depth_covers_and_nests(wl, stack, nodes, sockets, ppn, seed):
+def test_mpi_mpi_any_depth_covers_and_nests(
+    wl, stack, nodes, sockets, numa, ppn, seed
+):
     result = run_hierarchical(
-        wl, homogeneous(nodes, 8, sockets_per_node=sockets),
+        wl,
+        homogeneous(nodes, 8, sockets_per_node=sockets, numa_per_socket=numa),
         inter="+".join(stack), approach="mpi+mpi", ppn=ppn, seed=seed,
     )
     check_level_invariants(result, wl.n)
@@ -81,13 +85,15 @@ def test_mpi_mpi_any_depth_covers_and_nests(wl, stack, nodes, sockets, ppn, seed
     stack=adaptive_stacks,
     nodes=st.integers(min_value=1, max_value=3),
     sockets=st.sampled_from([1, 2]),
+    numa=st.sampled_from([1, 2]),
     seed=st.integers(min_value=0, max_value=50),
 )
 @settings(max_examples=40, deadline=None)
-def test_mpi_mpi_adaptive_any_level_covers(wl, stack, nodes, sockets, seed):
+def test_mpi_mpi_adaptive_any_level_covers(wl, stack, nodes, sockets, numa, seed):
     """AWF-*/AF are valid at any level of the stack, not just the root."""
     result = run_hierarchical(
-        wl, homogeneous(nodes, 4, sockets_per_node=sockets),
+        wl,
+        homogeneous(nodes, 4, sockets_per_node=sockets, numa_per_socket=numa),
         inter="+".join(stack), approach="mpi+mpi", ppn=4, seed=seed,
     )
     check_level_invariants(result, wl.n)
@@ -116,15 +122,43 @@ def test_mpi_openmp_three_level_covers_and_nests(
 
 @given(
     wl=workloads,
-    stack=stacks,
+    inter=st.sampled_from(TECHNIQUES),
+    mid=st.sampled_from(TECHNIQUES),
+    numa_mid=st.sampled_from(TECHNIQUES),
+    leaf=st.sampled_from(["STATIC", "SS", "GSS", "TSS", "FAC2"]),
+    nodes=st.integers(min_value=1, max_value=2),
     sockets=st.sampled_from([1, 2]),
+    numa=st.sampled_from([1, 2]),
     seed=st.integers(min_value=0, max_value=50),
 )
 @settings(max_examples=30, deadline=None)
-def test_any_depth_bit_deterministic(wl, stack, sockets, seed):
+def test_mpi_openmp_four_level_covers_and_nests(
+    wl, inter, mid, numa_mid, leaf, nodes, sockets, numa, seed
+):
+    """Depth-4 stacks nest NUMA teams inside socket teams."""
+    result = run_hierarchical(
+        wl,
+        homogeneous(nodes, 4, sockets_per_node=sockets, numa_per_socket=numa),
+        inter=f"{inter}+{mid}+{numa_mid}+{leaf}", approach="mpi+openmp",
+        ppn=4, seed=seed,
+    )
+    check_level_invariants(result, wl.n)
+    assert len(result.level_chunks) == 4
+
+
+@given(
+    wl=workloads,
+    stack=stacks,
+    sockets=st.sampled_from([1, 2]),
+    numa=st.sampled_from([1, 2]),
+    seed=st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=30, deadline=None)
+def test_any_depth_bit_deterministic(wl, stack, sockets, numa, seed):
     def go():
         return run_hierarchical(
-            wl, homogeneous(2, 4, sockets_per_node=sockets),
+            wl,
+            homogeneous(2, 4, sockets_per_node=sockets, numa_per_socket=numa),
             inter="+".join(stack), approach="mpi+mpi", ppn=4, seed=seed,
         )
 

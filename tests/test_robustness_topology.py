@@ -128,21 +128,21 @@ def test_single_node_single_core_three_level():
 # ---------------------------------------------------------------------------
 
 
-def test_mpi_mpi_depth_four_raises():
+def test_mpi_mpi_depth_five_raises():
     wl = uniform_workload(100, seed=25)
-    with pytest.raises(ValueError, match="at most 3 levels"):
+    with pytest.raises(ValueError, match="at most 4 levels"):
         run_hierarchical(
-            wl, homogeneous(2, 8, sockets_per_node=2),
-            inter="GSS+GSS+GSS+GSS", approach="mpi+mpi", ppn=8,
+            wl, homogeneous(2, 8, sockets_per_node=2, numa_per_socket=2),
+            inter="GSS+GSS+GSS+GSS+GSS", approach="mpi+mpi", ppn=8,
         )
 
 
-@pytest.mark.parametrize("stack", ["GSS", "GSS+GSS+GSS+GSS"])
+@pytest.mark.parametrize("stack", ["GSS", "GSS+GSS+GSS+GSS+GSS"])
 def test_mpi_openmp_rejects_unmappable_depths(stack):
     wl = uniform_workload(100, seed=26)
-    with pytest.raises(ValueError, match="depth-2 stack .* or a depth-3"):
+    with pytest.raises(ValueError, match="depth-2 stack .* depth-4"):
         run_hierarchical(
-            wl, homogeneous(2, 8, sockets_per_node=2),
+            wl, homogeneous(2, 8, sockets_per_node=2, numa_per_socket=2),
             inter=stack, approach="mpi+openmp", ppn=8,
         )
 
@@ -163,8 +163,8 @@ def test_nowait_selffetch_rejects_three_level_stacks():
 
 def test_error_messages_name_the_offending_stack():
     wl = uniform_workload(100, seed=27)
-    with pytest.raises(ValueError, match=r"GSS\+SS\+TSS\+FAC2"):
+    with pytest.raises(ValueError, match=r"GSS\+SS\+TSS\+FAC2\+STATIC"):
         run_hierarchical(
             wl, homogeneous(2, 8, sockets_per_node=2),
-            inter="GSS+SS+TSS+FAC2", approach="mpi+mpi", ppn=8,
+            inter="GSS+SS+TSS+FAC2+STATIC", approach="mpi+mpi", ppn=8,
         )

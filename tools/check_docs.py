@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Link-check the documentation so documented paths cannot rot.
+
+Scans ``README.md`` and ``docs/*.md`` for markdown links and verifies
+
+* relative links resolve to files/directories that exist in the repo;
+* ``#anchor`` fragments (intra- or cross-file) match a heading's
+  GitHub-style slug in the target document;
+* ``http(s)``/``mailto`` links are skipped (CI runs offline).
+
+Usage (from the repository root)::
+
+    python tools/check_docs.py
+
+Exits 1 and prints one line per broken link otherwise.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import Iterator, List, Set, Tuple
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def doc_files() -> List[pathlib.Path]:
+    files = [ROOT / "README.md"]
+    files.extend(sorted((ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def iter_prose_lines(path: pathlib.Path) -> Iterator[Tuple[int, str]]:
+    """Lines outside fenced code blocks, with 1-based line numbers."""
+    in_fence = False
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            yield number, line
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces->dashes."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: pathlib.Path) -> Set[str]:
+    anchors: Set[str] = set()
+    for _, line in iter_prose_lines(path):
+        match = HEADING_RE.match(line)
+        if match:
+            anchors.add(slugify(match.group(1)))
+    return anchors
+
+
+def check() -> List[str]:
+    errors: List[str] = []
+    for doc in doc_files():
+        for number, line in iter_prose_lines(doc):
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                path_part, _, anchor = target.partition("#")
+                where = f"{doc.relative_to(ROOT)}:{number}"
+                resolved = (
+                    doc if not path_part else (doc.parent / path_part).resolve()
+                )
+                if not resolved.exists():
+                    errors.append(f"{where}: broken link -> {target}")
+                    continue
+                if anchor:
+                    if resolved.is_dir() or resolved.suffix != ".md":
+                        errors.append(
+                            f"{where}: anchor on non-markdown target -> {target}"
+                        )
+                    elif slugify(anchor) not in anchors_of(resolved):
+                        errors.append(
+                            f"{where}: missing anchor #{anchor} -> {target}"
+                        )
+    return errors
+
+
+def main() -> int:
+    docs = doc_files()
+    errors = check()
+    for error in errors:
+        print(error)
+    print(
+        f"checked {len(docs)} documents "
+        f"({', '.join(str(d.relative_to(ROOT)) for d in docs)}): "
+        f"{len(errors)} broken link(s)"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
