@@ -111,6 +111,40 @@ def collect(rounds: int = 30) -> Dict[str, Dict[str, float]]:
         stats["simulated_parallel_time_s"] = result.parallel_time
         results[key] = stats
 
+    # Locality-tier pricing (PR 4): the same wide node re-run under the
+    # documented non-zero NUMA/socket penalty preset.  The machine is
+    # fixed (4 sockets x 2 NUMA domains, 16 workers); only the *queue
+    # placement* changes with the stack depth.  With a flat per-node
+    # queue, 14 of 16 workers poll a lock homed in another NUMA domain
+    # or socket and pay the penalty on every attempt; per-NUMA queues
+    # (depth 4) keep every poll inside the home domain, so simulated
+    # lock-poll wait and makespan both drop — the paper's
+    # queue-placement result, now priced by distance.
+    from repro.cluster.costs import NUMA_PENALTY_COSTS
+
+    def run_priced(stack):
+        return run_hierarchical(
+            wl,
+            homogeneous(1, 16, sockets_per_node=4, numa_per_socket=2),
+            inter=stack, approach="mpi+mpi", ppn=16, seed=0,
+            collect_chunks=False, costs=NUMA_PENALTY_COSTS,
+        )
+
+    for key, stack in (
+        ("numa_penalty_flat_node_queue", "GSS+SS"),
+        ("numa_penalty_socket_queues", "GSS+FAC2+SS"),
+        ("numa_penalty_numa_queues", "GSS+FAC2+FAC2+SS"),
+        ("numa_penalty_adapt_leaf", "GSS+FAC2+FAC2+ADAPT"),
+    ):
+        stats = _time_best(lambda: run_priced(stack), hier_rounds)
+        result = run_priced(stack)
+        stats["simulated_poll_wait_s"] = result.counters["total_poll_wait"]
+        stats["lock_acquisitions"] = result.counters["lock_acquisitions"]
+        stats["simulated_parallel_time_s"] = result.parallel_time
+        if "adapt_switches" in result.counters:
+            stats["adapt_switches"] = result.counters["adapt_switches"]
+        results[key] = stats
+
     # Topology-aware native groups: the same depth-4 stack on real
     # threads, groups formed from the machine description.
     from repro.core.hierarchy import HierarchicalSpec
@@ -130,6 +164,26 @@ def collect(rounds: int = 30) -> Dict[str, Dict[str, float]]:
     stats = _time_best(run_native, max(5, rounds // 3))
     stats["n_leaf_groups"] = len(sample.groups)
     results["native_topology_four_level"] = stats
+
+    # Native simulated-cost reporting: the same machine and preset, the
+    # lock ledger priced by worker<->queue distance.  Depth 2 leaves
+    # every grab on a per-node queue that most workers reach across a
+    # socket; depth 4 keeps grabs NUMA-local.
+    flat_result = NativeRunner(native_wl, n_workers=8).run_hierarchical(
+        HierarchicalSpec.parse("GSS+SS"),
+        topology=native_cluster,
+        costs=NUMA_PENALTY_COSTS,
+    )
+    numa_result = NativeRunner(native_wl, n_workers=8).run_hierarchical(
+        native_spec, topology=native_cluster, costs=NUMA_PENALTY_COSTS
+    )
+    results["native_numa_penalty_queue_placement"] = {
+        "best_s": flat_result.wall_seconds,
+        "mean_s": flat_result.wall_seconds,
+        "rounds": 1,
+        "flat_node_lock_penalty_s": flat_result.simulated_lock_penalty_s,
+        "numa_queue_lock_penalty_s": numa_result.simulated_lock_penalty_s,
+    }
 
     return results
 

@@ -19,6 +19,10 @@ Examples::
               --nodes 4 --ppn 16             # four-level stack
               # (… FAC2 across each socket's NUMA domains, STATIC
               #  across each NUMA domain's cores)
+    repro run --techniques GSS+FAC2+FAC2+ADAPT --sockets 2 --numa 2 \
+              --nodes 4 --ppn 16 --numa-costs
+              # ADAPT leaf: runtime-selected SS/FAC2/GSS per NUMA
+              # queue, under the non-zero NUMA/socket penalty preset
 """
 
 from __future__ import annotations
@@ -117,6 +121,7 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.api import run_hierarchical
+    from repro.cluster.costs import DEFAULT_COSTS, NUMA_PENALTY_COSTS
     from repro.cluster.machine import minihpc
     from repro.experiments.workloads import figure_workload
 
@@ -126,6 +131,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         inter, intra = args.techniques, None
     else:
         inter, intra = args.inter, args.intra
+    costs = NUMA_PENALTY_COSTS if args.numa_costs else DEFAULT_COSTS
     result = run_hierarchical(
         workload,
         minihpc(
@@ -141,9 +147,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         collect_trace=args.gantt,
         collect_chunks=False,
+        costs=costs,
     )
     print(result.describe())
     print(result.metrics.summary())
+    if "adapt_final_modes" in result.counters:
+        modes = ", ".join(
+            f"{mode}x{count}"
+            for mode, count in sorted(result.counters["adapt_final_modes"].items())
+        )
+        print(
+            f"ADAPT: {result.counters['adapt_switches']} switch(es), "
+            f"final modes {modes}"
+        )
     if args.gantt:
         print(result.trace.render_gantt(width=100))
     return 0
@@ -212,7 +228,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="full scheduling stack, one technique per level "
                         "(e.g. GSS+FAC2+STATIC schedules nodes, then each "
                         "node's sockets, then each socket's cores; a 4th "
-                        "level schedules each socket's NUMA domains); "
+                        "level schedules each socket's NUMA domains; ADAPT "
+                        "at any level selects SS/FAC2/GSS at runtime); "
                         "overrides --inter/--intra")
     p.add_argument("--nodes", type=int, default=4)
     p.add_argument("--sockets", type=int, default=1,
@@ -225,6 +242,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--scale", default=None,
                    choices=["tiny", "quick", "default", "full"])
+    p.add_argument("--numa-costs", action="store_true",
+                   help="price NUMA/socket distance: use the documented "
+                        "non-zero locality-penalty preset "
+                        "(repro.cluster.costs.NUMA_PENALTY_COSTS) instead "
+                        "of the distance-blind default cost model")
     p.add_argument("--gantt", action="store_true",
                    help="render an ASCII Gantt chart of the execution")
     p.set_defaults(fn=_cmd_run)

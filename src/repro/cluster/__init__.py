@@ -7,8 +7,8 @@ Intel Xeon nodes (16 workers per node used in the evaluation) joined by
 a 100 Gbit/s Omni-Path-like fabric in a non-blocking fat tree.
 """
 
-from repro.cluster.costs import MpiCosts, OmpCosts
-from repro.cluster.interconnect import Interconnect
+from repro.cluster.costs import NUMA_PENALTY_COSTS, MpiCosts, OmpCosts
+from repro.cluster.interconnect import Interconnect, Tier
 from repro.cluster.machine import ClusterSpec, NodeSpec, minihpc
 from repro.cluster.noise import NoiseModel
 from repro.cluster.topology import Placement, block_placement
@@ -17,10 +17,12 @@ __all__ = [
     "ClusterSpec",
     "Interconnect",
     "MpiCosts",
+    "NUMA_PENALTY_COSTS",
     "NodeSpec",
     "NoiseModel",
     "OmpCosts",
     "Placement",
+    "Tier",
     "block_placement",
     "minihpc",
 ]

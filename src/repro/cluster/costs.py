@@ -59,9 +59,60 @@ class MpiCosts:
     #: network RMA but dearer than plain shared loads
     shm_atomic: float = 0.5e-6
 
+    # --- locality-tier penalties (NUMA/socket distance) ----------------
+    #
+    # Each knob prices *leaving* one machine boundary, and applies to
+    # every operation at that distance **or farther** (crossing a
+    # socket implies leaving the home NUMA domain; leaving the node
+    # implies both — the data still exits the home domain on its way
+    # to the NIC).  This accumulate-outward rule is what guarantees
+    # cost monotonicity in distance (same-NUMA <= same-socket <=
+    # same-node <= network) for *any* non-negative knob values, which
+    # the property suite pins.  All default to 0, keeping the seed's
+    # distance-blind model bit-exact.
+    #
+    #: extra cost of a load/store whose target memory lives outside the
+    #: accessing core's NUMA domain (on-die mesh / remote-NUMA access).
+    remote_numa_load_penalty: float = 0.0
+    #: extra cost of an atomic / lock-attempt message targeting memory
+    #: outside the accessing core's NUMA domain (cache-line transfer +
+    #: directory hop).
+    remote_numa_atomic_penalty: float = 0.0
+    #: *additional* cost (on top of the remote-NUMA penalties) when the
+    #: access also leaves the socket (UPI/QPI link).  Applies to loads
+    #: and atomics alike.
+    cross_socket_penalty: float = 0.0
+
     # --- collectives ----------------------------------------------------
     #: per-stage cost of log-tree collectives (barrier/bcast/reduce)
     collective_stage: float = 0.7e-6
+
+    def tier_load_penalty(self, tier: int) -> float:
+        """Per-access load/store penalty for a :class:`~repro.cluster.interconnect.Tier`.
+
+        Penalties accumulate outward: crossing a socket implies crossing
+        a NUMA boundary, so with non-negative knobs the penalty is
+        monotonically non-decreasing in distance — the property the
+        tier-monotonicity tests pin.  ``tier`` is compared numerically
+        to avoid a circular import with :mod:`repro.cluster.interconnect`
+        (SAME_NUMA=0 < SAME_SOCKET=1 < SAME_NODE=2 <= NETWORK=3).
+        """
+        penalty = 0.0
+        if tier >= 1:  # leaves the home NUMA domain
+            penalty += self.remote_numa_load_penalty
+        if tier >= 2:  # additionally leaves the home socket
+            penalty += self.cross_socket_penalty
+        return penalty
+
+    def tier_atomic_penalty(self, tier: int) -> float:
+        """Per-op atomic/lock-message penalty for a tier (see
+        :meth:`tier_load_penalty` for the accumulation rule)."""
+        penalty = 0.0
+        if tier >= 1:
+            penalty += self.remote_numa_atomic_penalty
+        if tier >= 2:
+            penalty += self.cross_socket_penalty
+        return penalty
 
     def p2p_time(self, nbytes: int, same_node: bool, network_latency: float,
                  network_bandwidth: float) -> float:
@@ -142,3 +193,17 @@ class CostModel:
 
 
 DEFAULT_COSTS = CostModel()
+
+#: Documented non-zero locality preset (used by ``BENCH_PR4.json`` and
+#: the ``repro run --numa-costs`` CLI flag): remote-NUMA loads cost
+#: about two thirds of a local shared access extra, remote-NUMA atomics
+#: roughly double, and crossing the socket adds a UPI-link hop on top.
+#: Magnitudes follow published Xeon remote-NUMA/QPI latency ratios
+#: (~1.6x remote-NUMA, ~2-3x cross-socket for coherent RMW traffic).
+NUMA_PENALTY_COSTS = DEFAULT_COSTS.with_overrides(
+    **{
+        "mpi.remote_numa_load_penalty": 0.08e-6,
+        "mpi.remote_numa_atomic_penalty": 0.4e-6,
+        "mpi.cross_socket_penalty": 0.6e-6,
+    }
+)

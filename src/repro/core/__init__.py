@@ -9,6 +9,9 @@ This package holds the paper's primary contribution in reusable form:
   step alone for non-adaptive techniques).
 * :mod:`repro.core.techniques` — the full DLS roster: STATIC, SS, FSC,
   mFSC, GSS, TAP, TSS, TFSS, FAC, FAC2, WF, AWF, AWF-B/C/D/E, AF, RND.
+* :mod:`repro.core.adaptive` — the ADAPT meta-technique: runtime
+  selection of the chunk calculator (SS/FAC2/GSS) per scheduling tier
+  from observed chunk-fetch wait and iteration-time CoV.
 * :mod:`repro.core.hierarchy` — two-level (inter-node x intra-node)
   scheduling composition used by the execution models.
 * :mod:`repro.core.metrics` — parallel time, load-imbalance and

@@ -1,0 +1,235 @@
+"""The ADAPT meta-technique: runtime selection of the chunk calculator.
+
+"OpenMP Loop Scheduling Revisited" (Ciorba, Iwainsky & Buder, 2018)
+makes the case that *no single* DLS technique wins across workloads and
+machines — the right technique depends on the ratio of scheduling
+overhead to load imbalance, which is only observable at runtime.  ADAPT
+operationalises that argument per scheduling tier: every queue that
+carries an ADAPT level watches two live signals,
+
+* **chunk-fetch wait** — how long workers spend obtaining chunks (lock
+  polling, refills, remote atomics), reported by the execution models
+  through :meth:`~repro.core.technique_base.ChunkCalculator.record_wait`;
+* **iteration-time CoV** — the coefficient of variation of observed
+  per-iteration compute times, reported through ``record``,
+
+and walks a fineness ladder (default ``SS -> FAC2 -> GSS``) in
+response:
+
+* it *starts at the finest candidate* (best load balance);
+* when fetch wait dominates (``wait / (wait + compute)`` above the
+  coarsen threshold over an observation window) it **coarsens** one
+  rung — bigger chunks amortise the contended queue;
+* when iteration times are highly variable (CoV above threshold) *and*
+  fetching is cheap, it **refines** one rung — imbalance is the
+  bigger enemy and the queue can afford the traffic.
+
+The selector only ever picks from its ``candidates`` tuple, so an
+installation that lacks a rule can simply omit it (the property suite
+pins this).  Chunk sizes come from remaining-based closed forms of the
+candidate rules, so coverage/positivity hold by the same argument as
+for the fixed techniques.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.technique_base import (
+    ChunkCalculator,
+    Technique,
+    TechniqueError,
+    ceil_div,
+)
+
+#: candidate rules by fineness (finest first) — chunk size from
+#: (remaining, p); the selector may only walk this ladder
+_LADDER: Tuple[str, ...] = ("SS", "FAC2", "GSS")
+
+_RULES = {
+    "SS": lambda remaining, p: 1,
+    "FAC2": lambda remaining, p: ceil_div(remaining, 2 * p),
+    "GSS": lambda remaining, p: ceil_div(remaining, p),
+}
+
+
+class _AdaptiveCalculator(ChunkCalculator):
+    """Per-execution ADAPT state: the selector plus window accumulators.
+
+    ``deterministic = False``: chunk sizes depend on runtime feedback,
+    so execution models use the scheduled-count protocol (exactly as
+    for AWF-*/AF).
+    """
+
+    deterministic = False
+    adaptive = True
+
+    def __init__(
+        self,
+        name: str,
+        n: int,
+        p: int,
+        candidates: Sequence[str] = _LADDER,
+        window: Optional[int] = None,
+        wait_coarsen: float = 0.2,
+        wait_refine: float = 0.05,
+        cov_refine: float = 0.5,
+    ):
+        super().__init__(name, n, p)
+        ladder = tuple(c for c in _LADDER if c in candidates)
+        unknown = set(candidates) - set(_LADDER)
+        if unknown:
+            raise TechniqueError(
+                f"{name}: unknown candidate rules {sorted(unknown)}; "
+                f"available: {list(_LADDER)}"
+            )
+        if not ladder:
+            raise TechniqueError(f"{name}: needs at least one candidate rule")
+        self.candidates = ladder
+        #: adaptation window: observations before a switch decision
+        self.window = window if window is not None else max(4, p)
+        self.wait_coarsen = wait_coarsen
+        self.wait_refine = wait_refine
+        self.cov_refine = cov_refine
+        self._mode_index = 0  # start at the finest candidate
+        #: every mode the selector has been in, in order (tests/reports)
+        self.mode_history: List[str] = [self.candidates[0]]
+        self.switch_count = 0
+        self._scheduled = 0
+        # observation-window accumulators
+        self._win_wait = 0.0
+        self._win_compute = 0.0
+        self._win_obs = 0
+        self._win_iter_sum = 0.0
+        self._win_iter_sq = 0.0
+        self._win_iter_n = 0
+
+    # -- selector state -------------------------------------------------
+    @property
+    def mode(self) -> str:
+        """The currently selected candidate rule."""
+        return self.candidates[self._mode_index]
+
+    def _switch(self, new_index: int) -> None:
+        self._mode_index = new_index
+        self.mode_history.append(self.mode)
+        self.switch_count += 1
+
+    def _maybe_adapt(self) -> None:
+        if self._win_obs < self.window:
+            return
+        busy = self._win_wait + self._win_compute
+        wait_fraction = self._win_wait / busy if busy > 0 else 0.0
+        cov = 0.0
+        if self._win_iter_n >= 2:
+            mean = self._win_iter_sum / self._win_iter_n
+            if mean > 0:
+                var = max(
+                    0.0, self._win_iter_sq / self._win_iter_n - mean * mean
+                )
+                cov = math.sqrt(var) / mean
+        if (
+            wait_fraction > self.wait_coarsen
+            and self._mode_index + 1 < len(self.candidates)
+        ):
+            self._switch(self._mode_index + 1)
+        elif (
+            cov > self.cov_refine
+            and wait_fraction < self.wait_refine
+            and self._mode_index > 0
+        ):
+            self._switch(self._mode_index - 1)
+        self._win_wait = 0.0
+        self._win_compute = 0.0
+        self._win_obs = 0
+        self._win_iter_sum = 0.0
+        self._win_iter_sq = 0.0
+        self._win_iter_n = 0
+
+    # -- feedback hooks -------------------------------------------------
+    def record(
+        self, pe: int, size: int, compute_time: float, overhead_time: float = 0.0
+    ) -> None:
+        if size <= 0:
+            return
+        per_iter = compute_time / size
+        self._win_compute += compute_time + overhead_time
+        self._win_iter_sum += per_iter
+        self._win_iter_sq += per_iter * per_iter
+        self._win_iter_n += 1
+        self._win_obs += 1
+        self._maybe_adapt()
+
+    def record_wait(self, pe: int, wait_time: float) -> None:
+        self._win_wait += wait_time
+
+    # -- chunk dispensing ------------------------------------------------
+    def size_at(self, step: int, pe: Optional[int] = None) -> int:
+        remaining = self.n - self._scheduled
+        if remaining <= 0:
+            return 0
+        size = _RULES[self.mode](remaining, self.p)
+        size = max(1, min(int(size), remaining))
+        self._scheduled += size
+        return size
+
+    @property
+    def scheduled(self) -> int:
+        return self._scheduled
+
+
+class Adapt(Technique):
+    """The ADAPT descriptor.
+
+    The registry holds a default instance (full SS/FAC2/GSS ladder,
+    default thresholds); a *configured* instance can be placed directly
+    in a stack because :class:`~repro.core.hierarchy.LevelSpec` accepts
+    Technique objects::
+
+        HierarchicalSpec.of("GSS", Adapt(candidates=("FAC2", "GSS")))
+    """
+
+    name = "ADAPT"
+    adaptive = True
+    description = (
+        "Runtime-adaptive selector: starts at the finest candidate (SS) "
+        "and coarsens (SS->FAC2->GSS) when chunk-fetch wait dominates, "
+        "refining back when iteration-time CoV is high and fetching is "
+        "cheap."
+    )
+
+    def __init__(
+        self,
+        candidates: Sequence[str] = _LADDER,
+        window: Optional[int] = None,
+        wait_coarsen: float = 0.2,
+        wait_refine: float = 0.05,
+        cov_refine: float = 0.5,
+    ):
+        # fail at construction, not at the first queue refill
+        _AdaptiveCalculator(
+            self.name, 0, 1, candidates=candidates, window=window,
+            wait_coarsen=wait_coarsen, wait_refine=wait_refine,
+            cov_refine=cov_refine,
+        )
+        self.candidates = tuple(candidates)
+        self.window = window
+        self.wait_coarsen = wait_coarsen
+        self.wait_refine = wait_refine
+        self.cov_refine = cov_refine
+
+    def make(self, n, p, **kwargs) -> ChunkCalculator:
+        return _AdaptiveCalculator(
+            self.name,
+            n,
+            p,
+            candidates=self.candidates,
+            window=self.window,
+            wait_coarsen=self.wait_coarsen,
+            wait_refine=self.wait_refine,
+            cov_refine=self.cov_refine,
+        )
+
+
+__all__ = ["Adapt"]

@@ -94,6 +94,24 @@ class _MinChunkWrapper(ChunkCalculator):
     def record(self, pe, size, compute_time, overhead_time=0.0) -> None:
         self.inner.record(pe, size, compute_time, overhead_time)
 
+    def record_wait(self, pe, wait_time) -> None:
+        self.inner.record_wait(pe, wait_time)
+
+    # ADAPT selector surface: present exactly when the wrapped
+    # calculator is a selector, so the models' duck-typed bookkeeping
+    # (``hasattr(calc, "mode_history")``) sees through the wrapper.
+    @property
+    def mode_history(self):
+        return self.inner.mode_history
+
+    @property
+    def mode(self):
+        return self.inner.mode
+
+    @property
+    def switch_count(self):
+        return self.inner.switch_count
+
     def start_at(self, step: int) -> int:  # pragma: no cover - defensive
         raise NotImplementedError(
             "min-chunk wrapped calculators are consumed sequentially; "

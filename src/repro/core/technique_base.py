@@ -212,6 +212,17 @@ class ChunkCalculator:
     ) -> None:
         """Runtime feedback hook; default no-op (non-adaptive techniques)."""
 
+    def record_wait(self, pe: int, wait_time: float) -> None:
+        """Chunk-fetch wait feedback hook; default no-op.
+
+        Execution models report how long a worker spent *obtaining* a
+        chunk (lock polling, queue refill, remote atomics) separately
+        from :meth:`record`'s compute time, because folding it into
+        ``overhead_time`` would change the AWF-D/E weights the
+        differential goldens pin.  Only the ADAPT meta-technique
+        listens; for everything else this is a no-op.
+        """
+
     def total_steps(self) -> int:
         """Number of chunks in the serial unrolling (deterministic only)."""
         if not self.deterministic:

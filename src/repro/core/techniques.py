@@ -35,6 +35,9 @@ Formulas follow the original publications:
 * AF   — Banicescu & Liu 2000 adaptive factoring: FAC with per-PE
   (mu_k, sigma_k) estimated online from completed chunks.
 * RND  — uniform random chunk in ``[N/(100P), N/(2P)]`` (LaPeSD-libGOMP).
+* ADAPT — runtime technique *selection* (see :mod:`repro.core.adaptive`):
+  walks SS -> FAC2 -> GSS from observed chunk-fetch wait and
+  iteration-time CoV.
 """
 
 from __future__ import annotations
@@ -552,6 +555,8 @@ class Rnd(Technique):
 # registry
 # ---------------------------------------------------------------------------
 
+from repro.core.adaptive import Adapt  # noqa: E402  (registry import)
+
 TECHNIQUES: Dict[str, Technique] = {
     t.name: t
     for t in (
@@ -573,6 +578,7 @@ TECHNIQUES: Dict[str, Technique] = {
         AwfE(),
         Af(),
         Rnd(),
+        Adapt(),
     )
 }
 

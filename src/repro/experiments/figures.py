@@ -122,6 +122,51 @@ def numa_variant(
     )
 
 
+def adaptive_variant(
+    figure_id: str,
+    sockets_per_node: int = 1,
+    numa_per_socket: int = 1,
+    mid: str = "FAC2",
+) -> FigureSpec:
+    """Derive the runtime-adaptive (``ADAPT`` leaf) variant of a figure.
+
+    Adds an ``ADAPT`` panel to the original grid so the runtime
+    selector can be compared against every fixed leaf technique under
+    identical conditions.  With ``sockets_per_node``/``numa_per_socket``
+    above 1 the fixed panels become ``mid``-joined stacks and ADAPT
+    selects per socket/NUMA queue (one selector per tier-queue refill).
+    Not part of the paper — the technique-selection extension sweep::
+
+        run_figure_spec(adaptive_variant("fig5a"))
+
+    MPI+OpenMP series are skipped for the ADAPT panel automatically:
+    the runtime selector has no OpenMP ``schedule`` clause, exactly
+    like the paper's unsupported TSS/FAC2 intra techniques.
+    """
+    base = FIGURES[figure_id]
+    if sockets_per_node == 1 and numa_per_socket == 1:
+        intras = (*base.intras, "ADAPT")
+        suffix_id, suffix_ref = "-adapt", " (ADAPT runtime-selection extension)"
+    else:
+        prefix = mid if numa_per_socket == 1 else f"{mid}+{mid}"
+        intras = tuple(
+            f"{prefix}+{intra}" for intra in (*base.intras, "ADAPT")
+        )
+        suffix_id = f"-adapt-s{sockets_per_node}m{numa_per_socket}"
+        suffix_ref = (
+            f" (ADAPT extension, {sockets_per_node}-socket x "
+            f"{numa_per_socket}-NUMA)"
+        )
+    return replace(
+        base,
+        figure_id=f"{base.figure_id}{suffix_id}",
+        paper_ref=f"{base.paper_ref}{suffix_ref}",
+        intras=intras,
+        sockets_per_node=sockets_per_node,
+        numa_per_socket=numa_per_socket,
+    )
+
+
 FIGURES: Dict[str, FigureSpec] = {}
 for _fig, _inter in (("fig4", "STATIC"), ("fig5", "GSS"), ("fig6", "TSS"), ("fig7", "FAC2")):
     for _sub, _app in (("a", "mandelbrot"), ("b", "psia")):

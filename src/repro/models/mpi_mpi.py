@@ -130,6 +130,8 @@ class _LocalQueue:
         shm.cells.setdefault("global_done", 0)
         self.ranges: List[_QueuedChunk] = []
         shm.state["queue"] = self.ranges  # visible to tests/inspection
+        #: ADAPT calculators this queue instantiated (selector reporting)
+        self.adaptive_calcs: List[ChunkCalculator] = []
 
     def deposit(
         self,
@@ -144,6 +146,8 @@ class _LocalQueue:
             rng=self.run.sim.rng(self.rng_stream),
             chunk_overhead=self.run.costs.chunk_calc,
         )
+        if hasattr(calc, "mode_history"):  # ADAPT selector bookkeeping
+            self.adaptive_calcs.append(calc)
         self.ranges.append(
             _QueuedChunk(
                 src_step=src_step,
@@ -248,6 +252,23 @@ class MpiMpiModel(ExecutionModel):
         run.counters["lock_acquisitions"] = sum(
             lq.shm.n_acquisitions for lq in local_queues.values()
         )
+        # ADAPT selector reporting: every selector instantiated at any
+        # tier (plus a root-level one) contributes its switch ledger
+        adapt_calcs = [
+            calc
+            for lq in local_queues.values()
+            for calc in lq.adaptive_calcs
+        ]
+        if hasattr(queue.calc, "mode_history"):
+            adapt_calcs.append(queue.calc)
+        if adapt_calcs:
+            modes: Dict[str, int] = {}
+            for calc in adapt_calcs:
+                modes[calc.mode] = modes.get(calc.mode, 0) + 1
+            run.counters["adapt_switches"] = sum(
+                calc.switch_count for calc in adapt_calcs
+            )
+            run.counters["adapt_final_modes"] = modes
 
     # ------------------------------------------------------------------
     def _build_queues(
@@ -405,6 +426,13 @@ class MpiMpiModel(ExecutionModel):
             head, sub_start, sub_size, _step = sub
             if trace is not None and sim.now > t_obtain:
                 trace.add(worker_name, t_obtain, sim.now, trace_mod.OBTAIN)
+            # chunk-fetch wait feeds the ADAPT selectors along the
+            # refill path (a no-op for every other technique — a
+            # separate channel from record() so AWF-D/E stay bit-exact)
+            obtain_wait = sim.now - t_obtain
+            head.calc.record_wait(child, obtain_wait)
+            for calc, pe in head.ancestors:
+                calc.record_wait(pe, obtain_wait)
             duration = run.exec_time(sub_start, sub_size, ctx.node, ctx.core)
             t0 = sim.now
             yield ComputeOnce(duration)  # jittered: unique per chunk, skip interning
@@ -444,6 +472,7 @@ class MpiMpiModel(ExecutionModel):
                 break
             if trace is not None and sim.now > t_obtain:
                 trace.add(ctx.name(), t_obtain, sim.now, trace_mod.OBTAIN)
+            queue.calc.record_wait(ctx.rank, sim.now - t_obtain)
             run.record_chunk(step, start, size, pe=ctx.rank)
             duration = run.exec_time(start, size, ctx.node, ctx.core)
             t0 = sim.now

@@ -43,6 +43,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.cluster.interconnect import Tier, tier_between
 from repro.core.technique_base import ChunkCalculator
 from repro.models.base import ExecutionModel, GlobalQueue, _Run
 from repro.sim.primitives import Overhead
@@ -50,6 +51,28 @@ from repro.sim.resources import Barrier
 from repro.smpi.world import MpiWorld, RankCtx
 from repro.somp.schedule import ScheduleSpec
 from repro.somp.team import OmpTeam
+
+
+def _team_barrier_penalty(run: "_Run", node_spec, cores) -> float:
+    """Locality surcharge of a thread team's implicit barrier.
+
+    The team's span is the widest tier between its first core and any
+    other member (classified by the cascade's single owner,
+    :func:`repro.cluster.interconnect.tier_between`): a team spanning
+    several sockets pays the same-node tier penalty per barrier,
+    spanning several NUMA domains of one socket pays the same-socket
+    penalty, and a single-NUMA team pays nothing.  Zero with the
+    default (distance-blind) cost knobs.
+    """
+    cores = list(cores)
+    first = (0, node_spec.socket_of_core(cores[0]), node_spec.numa_of_core(cores[0]))
+    tier = max(
+        tier_between(
+            first, (0, node_spec.socket_of_core(core), node_spec.numa_of_core(core))
+        )
+        for core in cores
+    )
+    return run.costs.mpi.tier_atomic_penalty(tier)
 
 
 @dataclass
@@ -159,6 +182,7 @@ class MpiOpenMpModel(ExecutionModel):
         finish_times: dict[int, float] = {}
 
         def node_main(ctx: RankCtx):
+            node_spec = run.cluster.node_of(ctx.node)
             team = OmpTeam(
                 run.sim,
                 n_threads,
@@ -167,6 +191,9 @@ class MpiOpenMpModel(ExecutionModel):
                 weights=None,
                 rng=run.sim.rng(f"omp-rnd.n{ctx.node}"),
                 trace=run.trace,
+                barrier_penalty=_team_barrier_penalty(
+                    run, node_spec, range(n_threads)
+                ),
             )
             teams[ctx.node] = team
 
@@ -254,6 +281,9 @@ class MpiOpenMpModel(ExecutionModel):
                     weights=None,
                     rng=sim.rng(f"omp-rnd.n{node}.s{socket}"),
                     trace=run.trace,
+                    barrier_penalty=_team_barrier_penalty(
+                        run, node_spec, groups[socket]
+                    ),
                 )
                 teams[(node, socket)] = team
                 socket_cores[(node, socket)] = groups[socket]
@@ -261,6 +291,12 @@ class MpiOpenMpModel(ExecutionModel):
             outer_barrier = Barrier(sim, n_sockets, name=f"omp-outer.n{node}")
             gate_box = {"gate": sim.event(f"omp-outer.n{node}.round0")}
             omp = run.costs.omp
+            # the outer worksharing barrier synchronises across sockets
+            outer_penalty = (
+                run.costs.mpi.tier_atomic_penalty(Tier.SAME_NODE)
+                if n_sockets > 1
+                else 0.0
+            )
 
             def body_time_for(socket_pos: int):
                 cores = socket_cores[(node, sockets[socket_pos])]
@@ -294,7 +330,7 @@ class MpiOpenMpModel(ExecutionModel):
                         socket_pos, sub_size, compute_time=sim.now - t0
                     )
                 # the outer worksharing loop's own implicit barrier
-                yield Overhead(omp.barrier_time(n_sockets))
+                yield Overhead(omp.barrier_time(n_sockets) + outer_penalty)
                 yield from outer_barrier.wait()
 
             def driver_main(socket_pos: int):
@@ -422,10 +458,28 @@ class MpiOpenMpModel(ExecutionModel):
                         weights=None,
                         rng=sim.rng(f"omp-rnd.n{node}.s{socket}.m{numa}"),
                         trace=run.trace,
+                        barrier_penalty=_team_barrier_penalty(
+                            run, node_spec, groups[socket][numa]
+                        ),
                     )
                     teams[(node, socket, numa)] = team
                     numa_cores[(node, socket, numa)] = groups[socket][numa]
             omp = run.costs.omp
+            # cross-socket / cross-NUMA surcharges for the nested
+            # worksharing barriers (zero with default knobs)
+            outer_penalty = (
+                run.costs.mpi.tier_atomic_penalty(Tier.SAME_NODE)
+                if n_sockets > 1
+                else 0.0
+            )
+            inner_penalties = {
+                socket: (
+                    run.costs.mpi.tier_atomic_penalty(Tier.SAME_SOCKET)
+                    if len(socket_numas[socket]) > 1
+                    else 0.0
+                )
+                for socket in sockets
+            }
             outer_barrier = Barrier(sim, n_sockets, name=f"omp-outer.n{node}")
             outer_gate = {"gate": sim.event(f"omp-outer.n{node}.round0")}
             inner_barriers = {
@@ -477,7 +531,10 @@ class MpiOpenMpModel(ExecutionModel):
                         numa_pos, sub_size, compute_time=sim.now - t0
                     )
                 # the inner worksharing loop's own implicit barrier
-                yield Overhead(omp.barrier_time(len(socket_numas[socket])))
+                yield Overhead(
+                    omp.barrier_time(len(socket_numas[socket]))
+                    + inner_penalties[socket]
+                )
                 yield from inner_barriers[socket].wait()
 
             def numa_driver_main(socket: int, numa_pos: int):
@@ -527,7 +584,7 @@ class MpiOpenMpModel(ExecutionModel):
                         socket_pos, sub_size, compute_time=sim.now - t0
                     )
                 # the outer worksharing loop's own implicit barrier
-                yield Overhead(omp.barrier_time(n_sockets))
+                yield Overhead(omp.barrier_time(n_sockets) + outer_penalty)
                 yield from outer_barrier.wait()
 
             def socket_driver_main(socket_pos: int):

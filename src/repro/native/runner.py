@@ -36,6 +36,8 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.cluster.costs import CostModel, DEFAULT_COSTS
+from repro.cluster.interconnect import Tier, tier_between
 from repro.cluster.machine import ClusterSpec, NodeSpec
 from repro.core.chunking import Chunk, verify_schedule
 from repro.core.hierarchy import HierarchicalSpec, LevelSpec
@@ -44,6 +46,19 @@ from repro.workloads.base import Workload
 #: a leaf/interior tier-group key: the machine path of the group, e.g.
 #: ``(node,)``, ``(node, socket)`` or ``(node, socket, numa)``
 GroupKey = Tuple[int, ...]
+
+
+def _leaf_tier(path_a: GroupKey, path_b: GroupKey) -> Tier:
+    """Locality tier between two workers' leaf machine paths.
+
+    Paths are ``(socket, numa)`` for a :class:`NodeSpec` topology
+    (single-node: prepend node 0) and ``(node, socket, numa)`` for a
+    :class:`ClusterSpec`; classification delegates to the cascade's
+    single owner, :func:`repro.cluster.interconnect.tier_between`.
+    """
+    if len(path_a) == 2:
+        path_a, path_b = (0, *path_a), (0, *path_b)
+    return tier_between(path_a, path_b)
 
 
 @dataclass
@@ -69,6 +84,18 @@ class NativeResult:
     group_deposits: Optional[Dict[GroupKey, List[Tuple[int, int]]]] = field(
         default=None, repr=False
     )
+    #: topology-aware runs only: tier-group key -> {worker: lock
+    #: acquisitions} — how often each worker took each tier queue's lock
+    group_lock_acquisitions: Optional[Dict[GroupKey, Dict[int, int]]] = field(
+        default=None, repr=False
+    )
+    #: topology-aware runs only: the simulated locality cost of those
+    #: acquisitions under the run's cost model — each lock grab priced
+    #: at the tier-atomic penalty between the worker's core and the
+    #: queue's home NUMA domain.  Zero with default (distance-blind)
+    #: knobs; under a NUMA-penalty preset this is the number the
+    #: flat-vs-per-NUMA queue-placement benchmark compares.
+    simulated_lock_penalty_s: Optional[float] = None
 
     @property
     def total_iterations(self) -> int:
@@ -133,6 +160,8 @@ class _LocalQueue:
         self.parent_pe = parent_pe
         self.key = key
         self.deposits: List[Tuple[int, int]] = []
+        #: worker pe -> times that worker acquired this queue's lock
+        self.acquisitions: Dict[int, int] = {}
 
     def deposit(self, start: int, size: int) -> None:
         self.deposits.append((start, size))
@@ -210,6 +239,7 @@ class NativeRunner:
         n_groups: Optional[int] = None,
         *,
         topology: Union[NodeSpec, ClusterSpec, None] = None,
+        costs: Optional[CostModel] = None,
     ) -> NativeResult:
         """Multi-level scheduling: groups with local queues (MPI+MPI style).
 
@@ -228,11 +258,20 @@ class NativeRunner:
           belongs to group ``w // (n_workers / n_groups)``; only
           ``spec.inter`` and ``spec.intra`` are used (intermediate
           levels have no tier to map to).
+
+        ``costs`` (topology mode only) prices the run's tier-queue lock
+        traffic through the simulator's cost model: the result reports
+        ``simulated_lock_penalty_s``, each lock grab charged the
+        tier-atomic penalty between the grabbing worker's core and the
+        queue's home NUMA domain — the native-side counterpart of the
+        simulator's poll-wait accounting.
         """
         if topology is not None:
             if n_groups is not None:
                 raise TypeError("pass either n_groups or topology=, not both")
-            return self._run_hierarchical_topology(spec, topology)
+            return self._run_hierarchical_topology(spec, topology, costs)
+        if costs is not None:
+            raise TypeError("costs= requires topology= (tier-aware groups)")
         if n_groups is None:
             raise TypeError(
                 "run_hierarchical needs n_groups (flat striping) or "
@@ -275,7 +314,10 @@ class NativeRunner:
 
     # ------------------------------------------------------------------
     def _run_hierarchical_topology(
-        self, spec: HierarchicalSpec, topology: Union[NodeSpec, ClusterSpec]
+        self,
+        spec: HierarchicalSpec,
+        topology: Union[NodeSpec, ClusterSpec],
+        costs: Optional[CostModel] = None,
     ) -> NativeResult:
         """Topology-aware hierarchical mode: placement-derived groups."""
         slots = self._tier_paths(topology)
@@ -335,7 +377,7 @@ class NativeRunner:
             leaf = queues[slots[pe][n_tiers - 1]]
             child = leaf_members[leaf.key].index(pe)
             while True:
-                sub = self._take_tiered(leaf, queue, child)
+                sub = self._take_tiered(leaf, queue, child, worker=pe)
                 if sub is None:
                     return
                 start, size = sub
@@ -346,6 +388,25 @@ class NativeRunner:
         result.group_deposits = {
             key: list(q.deposits) for key, q in queues.items()
         }
+        result.group_lock_acquisitions = {
+            key: dict(q.acquisitions) for key, q in queues.items()
+        }
+        # price the lock traffic through the (possibly tiered) cost
+        # model: each queue's memory lives with its lowest-numbered
+        # member (first-touch), like the simulator's SharedWindow homes
+        leaf_paths = [path[-1] for path in slots]
+        mpi = (costs or DEFAULT_COSTS).mpi
+        penalty = 0.0
+        for key, q in queues.items():
+            members = [
+                w for w, path in enumerate(slots) if path[len(key) - 1] == key
+            ]
+            home = leaf_paths[members[0]]
+            for worker, n_acquired in q.acquisitions.items():
+                penalty += n_acquired * mpi.tier_atomic_penalty(
+                    _leaf_tier(leaf_paths[worker], home)
+                )
+        result.simulated_lock_penalty_s = penalty
         return result
 
     @staticmethod
@@ -387,7 +448,8 @@ class NativeRunner:
         )
 
     def _take_tiered(
-        self, q: _LocalQueue, global_queue: _GlobalQueue, child: int
+        self, q: _LocalQueue, global_queue: _GlobalQueue, child: int,
+        worker: int,
     ) -> Optional[Tuple[int, int]]:
         """Take from ``q``, refilling through the tier tree when dry.
 
@@ -396,8 +458,11 @@ class NativeRunner:
         steps 1-2), and the parent fetch recurses — acquiring the
         parent's own lock — up to the global queue.  Lock order is
         strictly child -> parent, so the tiered locks cannot deadlock.
+        ``worker`` identifies the physical worker for the per-queue
+        lock-acquisition ledger (the simulated-cost report).
         """
         with q.lock:
+            q.acquisitions[worker] = q.acquisitions.get(worker, 0) + 1
             while True:
                 sub = q.take(child)
                 if sub is not None:
@@ -412,7 +477,7 @@ class NativeRunner:
                     _step, start, size = grabbed
                 else:
                     parent_sub = self._take_tiered(
-                        q.parent, global_queue, q.parent_pe
+                        q.parent, global_queue, q.parent_pe, worker
                     )
                     if parent_sub is None:
                         q.global_done = True

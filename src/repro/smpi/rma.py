@@ -10,16 +10,20 @@ Atomic operations are serialised at the *target*: the target can retire
 one atomic at a time (hardware/NIC-agent serialisation), modelled by a
 hidden FIFO lock held for the processing time.  Origin ranks
 additionally pay network latency each way when the target is on a
-different node.  Under heavy contention (all ranks hammering the step
-counter) this produces the realistic queueing delay that motivates the
-paper's *hierarchical* design in the first place — the local queue
-absorbs most of the traffic.
+different node, and the locality-tier penalties of
+:class:`~repro.cluster.costs.MpiCosts` when the host window's memory
+sits in another NUMA domain or socket (zero by default).  Under heavy
+contention (all ranks hammering the step counter) this produces the
+realistic queueing delay that motivates the paper's *hierarchical*
+design in the first place — the local queue absorbs most of the
+traffic.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict
 
+from repro.cluster.interconnect import Tier
 from repro.sim.primitives import Overhead
 from repro.sim.resources import Lock
 
@@ -67,9 +71,12 @@ class Window:
         if op not in _OPS:
             raise ValueError(f"unsupported RMA op {op!r}")
         mpi = self.world.costs.mpi
-        remote = ctx.node != self.host_node
+        tier = self.world.interconnect.distance(ctx.rank, self.host_rank)
+        remote = tier is Tier.NETWORK
         latency = self.world.cluster.network_latency if remote else 0.0
-        processing = mpi.rma_atomic if remote else mpi.shm_atomic
+        processing = (
+            mpi.rma_atomic if remote else mpi.shm_atomic
+        ) + mpi.tier_atomic_penalty(tier)
 
         if latency:
             yield Overhead(latency)
@@ -96,9 +103,12 @@ class Window:
         """``MPI_Compare_and_swap``; returns the old value (generator)."""
         self._check_cell(cell)
         mpi = self.world.costs.mpi
-        remote = ctx.node != self.host_node
+        tier = self.world.interconnect.distance(ctx.rank, self.host_rank)
+        remote = tier is Tier.NETWORK
         latency = self.world.cluster.network_latency if remote else 0.0
-        processing = mpi.rma_atomic if remote else mpi.shm_atomic
+        processing = (
+            mpi.rma_atomic if remote else mpi.shm_atomic
+        ) + mpi.tier_atomic_penalty(tier)
 
         if latency:
             yield Overhead(latency)
@@ -121,7 +131,7 @@ class Window:
         """Non-atomic ``MPI_Get`` of one cell (generator)."""
         self._check_cell(cell)
         yield Overhead(
-            self.world.interconnect.transfer_time(ctx.node, self.host_node, nbytes)
+            self.world.interconnect.transfer_time(ctx.rank, self.host_rank, nbytes)
         )
         return self.cells[cell]
 
@@ -129,7 +139,7 @@ class Window:
         """Non-atomic ``MPI_Put`` to one cell (generator)."""
         self._check_cell(cell)
         yield Overhead(
-            self.world.interconnect.transfer_time(ctx.node, self.host_node, nbytes)
+            self.world.interconnect.transfer_time(ctx.rank, self.host_rank, nbytes)
         )
         self.cells[cell] = value
 

@@ -21,7 +21,7 @@ wait time) that the benchmarks report and the ablation sweeps.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from repro.sim.primitives import Overhead, OverheadOnce
 from repro.sim.resources import Lock
@@ -61,12 +61,53 @@ class SharedWindow:
         )
         self._lock = Lock(world.sim, name=f"shmwin@node{tag}")
         self._rng = world.sim.rng(f"shm-lockpoll.node{tag}")
+        #: rank whose NUMA domain physically hosts the window's pages —
+        #: the lowest rank of the tier group the key names (first-touch
+        #: allocation by the group leader).  Accesses from other ranks
+        #: pay the locality-tier penalties of the cost model; None for
+        #: free-form keys, which stay distance-blind.
+        self.home_rank: Optional[int] = self._home_of(world, node)
+        #: per-rank (load, atomic) penalty memo — the tier of a
+        #: (rank, window) pair never changes during a run
+        self._penalties: Dict[int, Tuple[float, float]] = {}
         # statistics
         self.n_acquisitions = 0
         self.n_attempts = 0
         self.total_poll_wait = 0.0
         self.max_attempts_per_acquire = 0
         self.n_syncs = 0
+
+    @staticmethod
+    def _home_of(world: "MpiWorld", key) -> Optional[int]:
+        """Lowest rank of the tier group ``key`` names, or None."""
+        placement = world.placement
+        try:
+            if isinstance(key, int):
+                members = placement.ranks_on_node(key)
+            elif isinstance(key, tuple) and len(key) == 2:
+                members = placement.ranks_on_socket(*key)
+            elif isinstance(key, tuple) and len(key) == 3:
+                members = placement.ranks_on_numa(*key)
+            else:
+                return None
+        except (TypeError, IndexError):
+            return None
+        return members[0] if members else None
+
+    def _penalty_of(self, ctx: "RankCtx") -> Tuple[float, float]:
+        """(load, atomic) locality penalty for ``ctx`` on this window."""
+        cached = self._penalties.get(ctx.rank)
+        if cached is None:
+            if self.home_rank is None:
+                cached = (0.0, 0.0)
+            else:
+                net = self.world.interconnect
+                cached = (
+                    net.load_penalty(ctx.rank, self.home_rank),
+                    net.atomic_penalty(ctx.rank, self.home_rank),
+                )
+            self._penalties[ctx.rank] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # locking (the expensive part)
@@ -81,10 +122,14 @@ class SharedWindow:
         """
         mpi = self.world.costs.mpi
         owner = f"rank{ctx.rank}"
+        # each lock-attempt message travels to the window's home NUMA
+        # domain, so remote-NUMA/cross-socket requesters pay the tier
+        # penalty per attempt (zero with default knobs)
+        attempt_cost = mpi.shm_lock_attempt + self._penalty_of(ctx)[1]
         attempts = 0
         while True:
             attempts += 1
-            yield Overhead(mpi.shm_lock_attempt)
+            yield Overhead(attempt_cost)
             if self._lock.try_acquire(owner):
                 break
             wait = mpi.shm_poll_interval * float(self._rng.uniform(0.5, 1.5))
@@ -95,9 +140,9 @@ class SharedWindow:
         self.max_attempts_per_acquire = max(self.max_attempts_per_acquire, attempts)
 
     def unlock(self, ctx: "RankCtx"):
-        """``MPI_Win_unlock``."""
+        """``MPI_Win_unlock`` (epoch close: one more message home)."""
         self._require_held(ctx)
-        yield Overhead(self.world.costs.mpi.shm_unlock)
+        yield Overhead(self.world.costs.mpi.shm_unlock + self._penalty_of(ctx)[1])
         self._lock.release()
 
     def sync(self, ctx: "RankCtx"):
@@ -135,14 +180,14 @@ class SharedWindow:
         """Read one named cell (generator; requires the calling rank's lock)."""
         self._require_held(ctx)
         self._check_cell(cell)
-        yield Overhead(self.world.costs.mpi.shm_access)
+        yield Overhead(self.world.costs.mpi.shm_access + self._penalty_of(ctx)[0])
         return self.cells[cell]
 
     def store(self, ctx: "RankCtx", cell: str, value: int):
         """Write one named cell (generator; requires the calling rank's lock)."""
         self._require_held(ctx)
         self._check_cell(cell)
-        yield Overhead(self.world.costs.mpi.shm_access)
+        yield Overhead(self.world.costs.mpi.shm_access + self._penalty_of(ctx)[0])
         self.cells[cell] = value
 
     def access(self, ctx: "RankCtx", n: int = 1):
@@ -153,13 +198,15 @@ class SharedWindow:
         touches through this method (and hold the lock).
         """
         self._require_held(ctx)
-        yield Overhead(n * self.world.costs.mpi.shm_access)
+        yield Overhead(
+            n * (self.world.costs.mpi.shm_access + self._penalty_of(ctx)[0])
+        )
 
     def atomic_fetch_add(self, ctx: "RankCtx", cell: str, value: int):
         """Lock-free shared atomic (``MPI_Fetch_and_op`` on the local
         window) — does *not* require holding the window lock."""
         self._check_cell(cell)
-        yield Overhead(self.world.costs.mpi.shm_atomic)
+        yield Overhead(self.world.costs.mpi.shm_atomic + self._penalty_of(ctx)[1])
         old = self.cells[cell]
         self.cells[cell] = old + value
         return old

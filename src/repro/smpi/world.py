@@ -42,7 +42,9 @@ class MpiWorld:
         self.ppn = ppn
         self.placement: Placement = block_placement(cluster, ppn)
         self.costs = costs
-        self.interconnect = Interconnect(cluster, costs.mpi)
+        # the interconnect owns the rank -> (node, socket, numa, core)
+        # mapping: all its queries take *ranks*, never node indices
+        self.interconnect = Interconnect(cluster, costs.mpi, self.placement)
         self.size = self.placement.size
         self._mailboxes: List[Mailbox] = [
             Mailbox(sim, rank) for rank in range(self.size)
@@ -157,9 +159,7 @@ class RankCtx:
         transfer time)."""
         if not 0 <= dest < self.size:
             raise ValueError(f"send to invalid rank {dest}")
-        transfer = self.world.interconnect.message_time(
-            self.node, self.world.placement.node_of(dest), nbytes
-        )
+        transfer = self.world.interconnect.message_time(self.rank, dest, nbytes)
         # Sender-side software overhead is paid by the sender now.
         yield Overhead(self.world.costs.mpi.p2p_overhead)
         message = Message(source=self.rank, tag=tag, payload=payload, nbytes=nbytes)

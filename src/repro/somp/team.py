@@ -87,6 +87,11 @@ class OmpTeam:
         Only needed for the ``wf`` / ``random`` extension schedules.
     trace:
         Optional :class:`repro.core.trace.Trace` to record Gantt data.
+    barrier_penalty:
+        Extra cost added to every implicit barrier — the locality-tier
+        surcharge of a team whose threads span several NUMA domains or
+        sockets (barrier cache lines bounce across the boundary).  Zero
+        (the default) reproduces the distance-blind barrier bit-exactly.
     """
 
     def __init__(
@@ -98,12 +103,14 @@ class OmpTeam:
         weights: Optional[np.ndarray] = None,
         rng: Optional[np.random.Generator] = None,
         trace: Optional[trace_mod.Trace] = None,
+        barrier_penalty: float = 0.0,
     ):
         if n_threads < 1:
             raise ValueError(f"team needs >= 1 thread, got {n_threads}")
         self.sim = sim
         self.n_threads = n_threads
         self.costs = costs
+        self.barrier_penalty = barrier_penalty
         self.name = name
         self.weights = weights
         self.rng = rng if rng is not None else sim.rng(f"omp-team.{name}")
@@ -336,7 +343,9 @@ class OmpTeam:
 
     def _barrier_wait(self, phase: _Phase, tid: int):
         """The implicit end-of-worksharing barrier (paper Fig. 2)."""
-        yield Overhead(self.costs.omp.barrier_time(self.n_threads))
+        yield Overhead(
+            self.costs.omp.barrier_time(self.n_threads) + self.barrier_penalty
+        )
         t0 = self.sim.now
         yield from phase.barrier.wait()
         if self.trace is not None and self.sim.now > t0:

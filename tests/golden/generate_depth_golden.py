@@ -1,0 +1,126 @@
+"""Regenerate the depth-2/3/4 differential golden snapshot.
+
+Run from the repo root with the *reference* implementation checked out::
+
+    PYTHONPATH=src python tests/golden/generate_depth_golden.py
+
+``seed_runresults.json`` pins the two-level world; this snapshot
+(``depth_runresults.json``) extends the differential guard to a sampled
+grid of socket/NUMA topologies and depth-2/3/4 scheduling stacks for
+both hierarchical models.  It was generated at the PR-3 HEAD (commit
+``d737bf6``), *before* the locality-tier cost model landed, so
+``tests/test_differential_seed.py`` replaying it through the tiered
+code proves the per-tier penalty knobs are bit-exact no-ops at their
+zero defaults.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+
+from repro.api import run_hierarchical
+from repro.cluster.machine import homogeneous
+from repro.workloads import uniform_workload
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "depth_runresults.json")
+
+#: cluster_id -> factory; shapes expose the socket and NUMA tiers the
+#: depth-3/4 stacks schedule at (and that the tiered costs penalise)
+CLUSTERS = {
+    "flat-2x8": lambda: homogeneous(2, 8),
+    "sock-2x8s2": lambda: homogeneous(2, 8, sockets_per_node=2),
+    "numa-2x8s2m2": lambda: homogeneous(
+        2, 8, sockets_per_node=2, numa_per_socket=2
+    ),
+    "numa-1x16s4m2": lambda: homogeneous(
+        1, 16, sockets_per_node=4, numa_per_socket=2
+    ),
+}
+
+#: sampled stacks per depth (not the full cross product — the two-level
+#: snapshot already covers that world exhaustively)
+STACKS = {
+    "mpi+mpi": [
+        "GSS+SS",
+        "FAC2+STATIC",
+        "AWF-B+GSS",
+        "GSS+FAC2+SS",
+        "TSS+FAC2+STATIC",
+        "FAC2+AWF-C+GSS",
+        "GSS+FAC2+FAC2+SS",
+        "FAC2+GSS+TSS+STATIC",
+    ],
+    "mpi+openmp": [
+        "GSS+SS",
+        "FAC2+STATIC",
+        "GSS+FAC2+SS",
+        "TSS+FAC2+STATIC",
+        "GSS+FAC2+FAC2+SS",
+        "FAC2+GSS+TSS+STATIC",
+    ],
+}
+
+
+def config_matrix():
+    for cluster_id, factory in CLUSTERS.items():
+        cluster = factory()
+        max_depth = 2
+        if cluster.sockets_per_node > 1:
+            max_depth = 3
+        if cluster.numa_per_socket > 1:
+            max_depth = 4
+        for seed in (0, 7):
+            for approach, stacks in STACKS.items():
+                for stack in stacks:
+                    depth = stack.count("+") + 1
+                    if depth > max_depth:
+                        continue
+                    ppn = min(node.cores for node in cluster.nodes)
+                    yield (approach, stack, cluster_id, ppn, seed)
+
+
+def chunk_digest(result) -> str:
+    payload = "|".join(
+        ";".join(f"{c.step},{c.start},{c.size},{c.pe}" for c in level)
+        for level in result.level_chunks
+    )
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+
+def snapshot_one(approach, stack, cluster_id, ppn, seed):
+    result = run_hierarchical(
+        uniform_workload(240, low=5e-5, high=2e-3, seed=3),
+        CLUSTERS[cluster_id](),
+        inter=stack,
+        approach=approach,
+        ppn=ppn,
+        seed=seed,
+    )
+    return {
+        "spec_label": result.spec_label,
+        "parallel_time": result.parallel_time.hex(),
+        "n_events": result.n_events,
+        "finish_times": {
+            w.name: w.finish_time.hex() for w in result.metrics.workers
+        },
+        "chunk_digest": chunk_digest(result),
+    }
+
+
+def main() -> int:
+    golden = {}
+    for config in config_matrix():
+        key = "/".join(str(part) for part in config)
+        golden[key] = snapshot_one(*config)
+        print(f"  {key}: T={float.fromhex(golden[key]['parallel_time']):.6g}s")
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as fh:
+        json.dump(golden, fh, indent=1, sort_keys=True)
+    print(f"wrote {len(golden)} configs to {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

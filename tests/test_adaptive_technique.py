@@ -1,0 +1,281 @@
+"""Property + unit tests for the ADAPT runtime-selection meta-technique.
+
+(a) emitted chunks are always positive and tile exactly ``n``
+    iterations, whatever feedback the selector receives (coverage /
+    positivity property);
+(b) the selector never picks a calculator outside its candidate set;
+(c) a seeded regression pins that injected lock-poll contention drives
+    the selector away from SS mid-run — and that doing so beats the
+    fixed-SS leaf in simulated poll wait;
+(d) the ADAPT token works through every composition surface
+    (HierarchicalSpec.parse, run_hierarchical, GridRunner,
+    figures.adaptive_variant).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import run_hierarchical
+from repro.cluster.machine import homogeneous
+from repro.core.adaptive import _LADDER, _AdaptiveCalculator
+from repro.core.hierarchy import HierarchicalSpec, LevelSpec
+from repro.core.technique_base import TechniqueError
+from repro.core.techniques import get_technique
+from repro.workloads import uniform_workload
+
+#: feedback events: ("chunk", per-iteration-time) or ("wait", seconds)
+feedback_events = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("chunk"),
+            st.floats(min_value=1e-7, max_value=1e-3, allow_nan=False),
+        ),
+        st.tuples(
+            st.just("wait"),
+            st.floats(min_value=0.0, max_value=1e-2, allow_nan=False),
+        ),
+    ),
+    max_size=60,
+)
+
+candidate_sets = st.lists(
+    st.sampled_from(_LADDER), min_size=1, max_size=3, unique=True
+)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=500),
+    p=st.integers(min_value=1, max_value=16),
+    events=feedback_events,
+)
+@settings(max_examples=100, deadline=None)
+def test_adapt_chunks_are_positive_and_cover(n, p, events):
+    calc = _AdaptiveCalculator("ADAPT", n, p)
+    events = list(events)
+    total = 0
+    step = 0
+    while True:
+        size = calc.size_at(step, pe=step % p)
+        if size == 0:
+            break
+        assert size >= 1
+        step += 1
+        total += size
+        # interleave feedback with consumption, driving the selector
+        if events:
+            kind, value = events.pop()
+            if kind == "chunk":
+                calc.record(step % p, size, compute_time=value * size)
+            else:
+                calc.record_wait(step % p, value)
+        assert total <= n
+    assert total == n
+    assert calc.size_at(step + 1, pe=0) == 0  # stays exhausted
+
+
+@given(
+    candidates=candidate_sets,
+    events=feedback_events,
+)
+@settings(max_examples=100, deadline=None)
+def test_adapt_never_picks_an_unavailable_calculator(candidates, events):
+    calc = _AdaptiveCalculator("ADAPT", 400, 4, candidates=candidates)
+    assert calc.mode in candidates
+    for index, (kind, value) in enumerate(events):
+        size = calc.size_at(index, pe=index % 4)
+        if kind == "chunk":
+            calc.record(index % 4, max(size, 1), compute_time=value)
+        else:
+            calc.record_wait(index % 4, value)
+        assert calc.mode in candidates
+    assert all(mode in candidates for mode in calc.mode_history)
+
+
+def test_adapt_rejects_unknown_candidates():
+    with pytest.raises(TechniqueError, match="unknown candidate"):
+        _AdaptiveCalculator("ADAPT", 100, 4, candidates=("SS", "WF"))
+    with pytest.raises(TechniqueError, match="at least one candidate"):
+        _AdaptiveCalculator("ADAPT", 100, 4, candidates=())
+
+
+def test_adapt_starts_at_finest_and_walks_the_ladder():
+    calc = _AdaptiveCalculator("ADAPT", 10_000, 4, window=4)
+    assert calc.mode == "SS"
+    # dominant fetch wait over one window -> coarsen one rung
+    for _ in range(4):
+        calc.size_at(0, pe=0)
+        calc.record_wait(0, wait_time=1.0)
+        calc.record(0, 1, compute_time=1e-6)
+    assert calc.mode == "FAC2"
+    # still drowning -> coarsen to the top rung, then stay there
+    for _ in range(8):
+        calc.size_at(0, pe=0)
+        calc.record_wait(0, wait_time=1.0)
+        calc.record(0, 1, compute_time=1e-6)
+    assert calc.mode == "GSS"
+    # high iteration-time CoV with cheap fetches -> refine back down
+    variable = [1e-6, 9e-4, 2e-6, 8e-4]
+    for per_iter in variable:
+        calc.size_at(0, pe=0)
+        calc.record(0, 1, compute_time=per_iter)
+    assert calc.mode == "FAC2"
+    assert calc.switch_count == 3
+    assert calc.mode_history == ["SS", "FAC2", "GSS", "FAC2"]
+
+
+def test_adapt_registered_and_parses():
+    technique = get_technique("ADAPT")
+    assert technique.adaptive
+    calc = technique.make(100, 4)
+    assert calc.deterministic is False
+    spec = HierarchicalSpec.parse("GSS+ADAPT")
+    assert spec.label == "GSS+ADAPT"
+    assert spec.levels[1].technique.name == "ADAPT"
+
+
+def test_min_chunk_wrapper_forwards_wait_feedback():
+    level = LevelSpec.of("ADAPT", min_chunk=4)
+    calc = level.make_calculator(1000, 4)
+    inner = calc.inner
+    calc.record_wait(0, 0.5)
+    assert inner._win_wait == 0.5
+    # the selector surface shows through the wrapper, so the models'
+    # duck-typed counter bookkeeping still sees min-chunk ADAPT levels
+    assert calc.mode_history == ["SS"]
+    assert calc.mode == "SS"
+    assert calc.switch_count == 0
+    # ...and stays absent for wrapped non-selectors
+    plain = LevelSpec.of("GSS", min_chunk=4).make_calculator(1000, 4)
+    assert not hasattr(plain, "mode_history")
+
+
+def test_min_chunk_adapt_still_reports_counters():
+    """Regression: an ADAPT level wrapped by the min-chunk clamp must
+    still surface adapt_switches/adapt_final_modes in the counters."""
+    wl = uniform_workload(300, low=5e-5, high=2e-3, seed=3)
+    result = run_hierarchical(
+        wl,
+        homogeneous(1, 8),
+        inter="GSS",
+        intra=LevelSpec.of("ADAPT", min_chunk=2),
+        approach="mpi+mpi",
+        ppn=8,
+        seed=0,
+    )
+    assert "adapt_final_modes" in result.counters
+    assert sum(result.counters["adapt_final_modes"].values()) > 0
+
+
+def test_configured_adapt_instance_in_a_stack():
+    """Adapt(candidates=..., ...) is placeable directly in a spec; the
+    roster of every calculator it makes honours the configuration."""
+    from repro.core.adaptive import Adapt
+
+    technique = Adapt(candidates=("FAC2", "GSS"), window=2)
+    calc = technique.make(400, 4)
+    assert calc.mode == "FAC2"  # finest *available* candidate
+    assert calc.candidates == ("FAC2", "GSS")
+    assert calc.window == 2
+    with pytest.raises(TechniqueError, match="unknown candidate"):
+        Adapt(candidates=("SS", "NOPE"))
+
+    wl = uniform_workload(200, low=5e-5, high=2e-3, seed=3)
+    result = run_hierarchical(
+        wl, homogeneous(2, 4), inter="GSS", intra=LevelSpec.of(technique),
+        approach="mpi+mpi", ppn=4, seed=0,
+    )
+    assert sum(c.size for c in result.subchunks) == wl.n
+    assert set(result.counters["adapt_final_modes"]) <= {"FAC2", "GSS"}
+
+
+def test_adapt_switches_away_from_ss_under_injected_contention():
+    """Seeded regression: a wide node with a fine ADAPT leaf and an
+    exaggerated lock-polling interval must coarsen away from SS — and
+    beat the fixed-SS leaf's simulated poll wait by doing so."""
+    from repro.cluster.costs import DEFAULT_COSTS
+
+    wl = uniform_workload(2000, low=5e-5, high=5e-4, seed=5)
+    cluster = homogeneous(1, 16)
+    contended = DEFAULT_COSTS.with_overrides(**{"mpi.shm_poll_interval": 1.2e-4})
+
+    adapt = run_hierarchical(
+        wl, cluster, inter="GSS+ADAPT", approach="mpi+mpi", ppn=16, seed=0,
+        costs=contended,
+    )
+    fixed_ss = run_hierarchical(
+        wl, cluster, inter="GSS+SS", approach="mpi+mpi", ppn=16, seed=0,
+        costs=contended,
+    )
+    assert adapt.counters["adapt_switches"] > 0
+    final_modes = adapt.counters["adapt_final_modes"]
+    assert any(mode != "SS" for mode in final_modes)
+    assert (
+        adapt.counters["total_poll_wait"] < fixed_ss.counters["total_poll_wait"]
+    )
+
+
+@pytest.mark.parametrize("stack", ["ADAPT", "ADAPT+STATIC", "GSS+FAC2+ADAPT"])
+def test_adapt_covers_at_any_level(stack):
+    wl = uniform_workload(300, low=5e-5, high=2e-3, seed=3)
+    result = run_hierarchical(
+        wl,
+        homogeneous(2, 8, sockets_per_node=2),
+        inter=stack,
+        approach="mpi+mpi",
+        ppn=8,
+        seed=1,
+    )
+    assert result.parallel_time > 0
+    assert sum(c.size for c in result.subchunks) == wl.n
+
+
+def test_adapt_depth4_run_and_counters():
+    wl = uniform_workload(400, low=5e-5, high=2e-3, seed=3)
+    result = run_hierarchical(
+        wl,
+        homogeneous(2, 8, sockets_per_node=2, numa_per_socket=2),
+        inter="GSS+FAC2+FAC2+ADAPT",
+        approach="mpi+mpi",
+        ppn=8,
+        seed=0,
+    )
+    assert sum(c.size for c in result.subchunks) == wl.n
+    assert "adapt_final_modes" in result.counters
+    assert sum(result.counters["adapt_final_modes"].values()) > 0
+
+
+def test_adaptive_variant_spec_and_gridrunner():
+    from repro.experiments.figures import adaptive_variant
+    from repro.experiments.harness import GridRunner
+
+    spec = adaptive_variant("fig5a")
+    assert spec.figure_id == "fig5a-adapt"
+    assert spec.intras[-1] == "ADAPT"
+    deep = adaptive_variant("fig5a", sockets_per_node=2, numa_per_socket=2)
+    assert deep.intras[-1] == "FAC2+FAC2+ADAPT"
+    assert deep.sockets_per_node == 2 and deep.numa_per_socket == 2
+
+    wl = uniform_workload(200, low=5e-5, high=2e-3, seed=3)
+    runner = GridRunner(workload=wl, ppn=4, node_counts=(2,), seed=0)
+    cells = runner.sweep(
+        "GSS", ["ADAPT"], [("mpi+mpi", lambda intra: True)]
+    )
+    assert len(cells) == 1
+    assert cells[0].intra == "ADAPT"
+    assert cells[0].time > 0
+
+
+def test_adapt_has_no_openmp_clause():
+    """MPI+OpenMP cannot run an ADAPT leaf (no schedule clause) — the
+    same restriction as the paper's unsupported TSS/FAC2 intras."""
+    from repro.somp.schedule import ScheduleSpec, UnsupportedScheduleError
+
+    with pytest.raises(UnsupportedScheduleError):
+        ScheduleSpec.from_technique("ADAPT")
+    from repro.experiments.figures import APPROACHES
+
+    openmp_filter = dict(APPROACHES)["mpi+openmp"]
+    assert not openmp_filter("ADAPT")
+    assert not openmp_filter("FAC2+ADAPT")

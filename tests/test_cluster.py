@@ -124,17 +124,40 @@ def test_rma_atomic_local_vs_remote():
 
 def test_interconnect_intra_faster_than_inter():
     cluster = homogeneous(2, 4)
-    net = Interconnect(cluster, MpiCosts())
-    assert net.message_time(0, 0, 64) < net.message_time(0, 1, 64)
-    assert net.atomic_time(0, 0) < net.atomic_time(0, 1)
-    assert net.transfer_time(0, 0, 1024) < net.transfer_time(0, 1, 1024)
+    net = Interconnect(cluster, MpiCosts(), block_placement(cluster, 4))
+    # ranks 0-3 share node 0; rank 4 lives on node 1
+    assert net.message_time(0, 1, 64) < net.message_time(0, 4, 64)
+    assert net.atomic_time(0, 1) < net.atomic_time(0, 4)
+    assert net.transfer_time(0, 1, 1024) < net.transfer_time(0, 4, 1024)
 
 
 def test_interconnect_distance_independent():
     cluster = homogeneous(8, 2)
-    net = Interconnect(cluster, MpiCosts())
-    # non-blocking fat tree: all remote pairs equal
-    assert net.message_time(0, 1, 64) == net.message_time(0, 7, 64)
+    net = Interconnect(cluster, MpiCosts(), block_placement(cluster, 2))
+    # non-blocking fat tree: all remote pairs equal (ranks 2 and 14
+    # live on nodes 1 and 7)
+    assert net.message_time(0, 2, 64) == net.message_time(0, 14, 64)
+
+
+def test_interconnect_queries_take_ranks_not_nodes():
+    """Regression for the historical rank/node-index confusion.
+
+    ``Interconnect`` used to take *node indices* while every caller
+    held *ranks* — passing ranks silently misclassified co-located
+    pairs as remote on any multi-node placement.  The interface is now
+    rank-based: distinct ranks of one node must price as shared-memory
+    peers, and equal *node indices* used as ranks must not alias.
+    """
+    cluster = homogeneous(2, 4)
+    net = Interconnect(cluster, MpiCosts(), block_placement(cluster, 4))
+    # ranks 2 and 3 share node 0: same-node pricing despite rank 3 != 0
+    assert net.same_node(2, 3)
+    assert net.message_time(2, 3, 64) == net.message_time(0, 1, 64)
+    # the old node-index reading would have called (0, 1) "remote";
+    # ranks 0 and 1 share node 0, so it is a shared-memory pair
+    local = net.message_time(0, 1, 64)
+    remote = net.message_time(0, 5, 64)  # rank 5 is on node 1
+    assert local < remote
 
 
 # ---------------------------------------------------------------------------

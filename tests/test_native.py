@@ -211,3 +211,64 @@ def test_topology_matches_flat_striping_when_degenerate(workload):
     assert sorted((c.start, c.size) for c in topo.chunks) == sorted(
         (c.start, c.size) for c in legacy.chunks
     )
+
+
+def test_topology_simulated_lock_cost_reporting(workload):
+    """The lock ledger prices worker<->queue distance.
+
+    Which worker wins which grab is a real thread race, so the test
+    pins the deterministic part: the reported penalty equals the
+    hand-recomputed price of the recorded ledger (each acquisition
+    charged the tier-atomic penalty between the worker's core and the
+    queue home), per-NUMA leaf-queue grabs are always free, and the
+    distance-blind default knobs price everything at zero.
+    """
+    from repro.cluster.costs import DEFAULT_COSTS, NUMA_PENALTY_COSTS
+
+    cluster = homogeneous(1, 8, sockets_per_node=2, numa_per_socket=2)
+    node = cluster.nodes[0]
+    runner = NativeRunner(workload, n_workers=8)
+    result = runner.run_hierarchical(
+        HierarchicalSpec.parse("GSS+FAC2+FAC2+SS"), topology=cluster,
+        costs=NUMA_PENALTY_COSTS,
+    )
+    # every executed chunk came from a ledgered leaf-queue acquisition
+    assert sum(
+        n for per_queue in result.group_lock_acquisitions.values()
+        for n in per_queue.values()
+    ) >= len(result.chunks)
+
+    def path_of(worker):  # workers bind to cores in placement order
+        return (0, node.socket_of_core(worker), node.numa_of_core(worker))
+
+    mpi = NUMA_PENALTY_COSTS.mpi
+    expected = 0.0
+    for key, per_worker in result.group_lock_acquisitions.items():
+        home_worker = min(result.groups[k][0] for k in result.groups
+                          if k[: len(key)] == key)
+        home = path_of(home_worker)
+        for worker, n_acquired in per_worker.items():
+            mine = path_of(worker)
+            if mine[1] != home[1]:
+                per_op = mpi.remote_numa_atomic_penalty + mpi.cross_socket_penalty
+            elif mine[2] != home[2]:
+                per_op = mpi.remote_numa_atomic_penalty
+            else:
+                per_op = 0.0
+            expected += n_acquired * per_op
+            if len(key) == 3:  # leaf NUMA queues: members are all home
+                assert per_op == 0.0
+    assert result.simulated_lock_penalty_s == pytest.approx(expected)
+
+    # distance-blind default knobs price everything at zero
+    free = runner.run_hierarchical(
+        HierarchicalSpec.parse("GSS+SS"), topology=cluster,
+        costs=DEFAULT_COSTS,
+    )
+    assert free.simulated_lock_penalty_s == 0.0
+    # legacy striping mode has no topology to price against
+    with pytest.raises(TypeError, match="requires topology"):
+        runner.run_hierarchical(
+            HierarchicalSpec.parse("GSS+SS"), n_groups=2,
+            costs=NUMA_PENALTY_COSTS,
+        )
