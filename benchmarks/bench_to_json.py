@@ -145,6 +145,54 @@ def collect(rounds: int = 30) -> Dict[str, Dict[str, float]]:
             stats["adapt_switches"] = result.counters["adapt_switches"]
         results[key] = stats
 
+    # Penalty-aware queue placement (PR 5): leader vs optimized window
+    # homes on an *asymmetric* depth-3/4 cluster (heterogeneous node
+    # speeds: node 0 slow) under the calibrated locality preset.  The
+    # leader rule pins the global RMA window to rank 0 on the slow
+    # node, so the fast nodes — which issue most of the global fetches
+    # — pay the network round trip on each; optimized placement homes
+    # the window with the traffic and the measured distance-priced
+    # queue cost (placement_cost_s = shared-window locality penalties
+    # + global atomic service time) drops.
+    from repro.cluster.costs import CALIBRATED_COSTS
+    from repro.cluster.machine import heterogeneous
+    from repro.cluster.placement_opt import leader_plan, solve_placement
+    from repro.core.hierarchy import HierarchicalSpec as _Spec
+
+    asym = heterogeneous(
+        [8, 8], [0.6, 1.4], socket_counts=[2, 2], numa_counts=[2, 2]
+    )
+
+    def run_placed(stack, placement):
+        return run_hierarchical(
+            wl, asym, inter=stack, approach="mpi+mpi", ppn=8, seed=0,
+            collect_chunks=False, costs=CALIBRATED_COSTS,
+            placement=placement,
+        )
+
+    for key, stack in (
+        ("placement_depth3_fac2_ss", "FAC2+FAC2+SS"),
+        ("placement_depth4_gss_static", "GSS+FAC2+FAC2+STATIC"),
+    ):
+        stats = _time_best(
+            lambda: run_placed(stack, "optimized"), hier_rounds
+        )
+        lead = run_placed(stack, "leader")
+        opt = run_placed(stack, "optimized")
+        plan = solve_placement(
+            _Spec.parse(stack), wl.n, asym, 8, CALIBRATED_COSTS
+        )
+        stats["leader_placement_cost_s"] = lead.counters["placement_cost_s"]
+        stats["optimized_placement_cost_s"] = opt.counters["placement_cost_s"]
+        stats["leader_parallel_time_s"] = lead.parallel_time
+        stats["optimized_parallel_time_s"] = opt.parallel_time
+        stats["predicted_leader_objective_s"] = leader_plan(
+            _Spec.parse(stack), wl.n, asym, 8, CALIBRATED_COSTS
+        ).objective
+        stats["predicted_optimized_objective_s"] = plan.objective
+        stats["windows_moved"] = [str(k) for k in plan.moved]
+        results[key] = stats
+
     # Topology-aware native groups: the same depth-4 stack on real
     # threads, groups formed from the machine description.
     from repro.core.hierarchy import HierarchicalSpec

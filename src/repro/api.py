@@ -58,6 +58,7 @@ def run_hierarchical(
     collect_chunks: bool = True,
     costs: Optional[Any] = None,
     noise: Optional[Any] = None,
+    placement: Any = "leader",
     **spec_kwargs: Any,
 ) -> "RunResult":
     """Run one hierarchical DLS combination and return its result.
@@ -90,6 +91,14 @@ def run_hierarchical(
     costs / noise:
         Override the :class:`repro.cluster.costs.CostModel` /
         :class:`repro.cluster.noise.NoiseModel`.
+    placement:
+        Work-queue window homes (mpi+mpi only): ``"leader"`` (default —
+        global window on rank 0, each tier window first-touched by its
+        group leader, bit-exact with the historical behaviour),
+        ``"optimized"`` (homes solved by
+        :mod:`repro.cluster.placement_opt` to minimise predicted priced
+        traffic), or an explicit ``{window key -> rank}`` mapping
+        (``"global"`` pins the RMA host).
 
     Returns
     -------
@@ -112,6 +121,7 @@ def run_hierarchical(
         collect_chunks=collect_chunks,
         costs=costs,
         noise=noise,
+        placement=placement,
     )
 
 

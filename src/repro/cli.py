@@ -23,6 +23,10 @@ Examples::
               --nodes 4 --ppn 16 --numa-costs
               # ADAPT leaf: runtime-selected SS/FAC2/GSS per NUMA
               # queue, under the non-zero NUMA/socket penalty preset
+    repro run --techniques GSS+FAC2+FAC2+STATIC --sockets 2 --numa 2 \
+              --nodes 4 --ppn 16 --placement optimized --costs calibrated
+              # penalty-aware queue placement: window homes solved to
+              # minimise predicted priced traffic, calibrated penalties
 """
 
 from __future__ import annotations
@@ -121,7 +125,7 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.api import run_hierarchical
-    from repro.cluster.costs import DEFAULT_COSTS, NUMA_PENALTY_COSTS
+    from repro.cluster.costs import COST_PRESETS
     from repro.cluster.machine import minihpc
     from repro.experiments.workloads import figure_workload
 
@@ -131,7 +135,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         inter, intra = args.techniques, None
     else:
         inter, intra = args.inter, args.intra
-    costs = NUMA_PENALTY_COSTS if args.numa_costs else DEFAULT_COSTS
+    preset = args.costs
+    if args.numa_costs:
+        if preset not in (None, "numa"):
+            print("--numa-costs conflicts with --costs; pick one")
+            return 2
+        preset = "numa"  # legacy alias for --costs numa
+    costs = COST_PRESETS[preset or "default"]
     result = run_hierarchical(
         workload,
         minihpc(
@@ -148,9 +158,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         collect_trace=args.gantt,
         collect_chunks=False,
         costs=costs,
+        placement=args.placement,
     )
     print(result.describe())
     print(result.metrics.summary())
+    if "placement_cost_s" in result.counters:
+        moved = result.counters.get("placement_moved", ())
+        moved_text = (
+            ", ".join(str(key) for key in moved) if moved else "none"
+        )
+        print(
+            f"placement: {result.counters['placement']} "
+            f"(priced queue traffic "
+            f"{result.counters['placement_cost_s'] * 1e6:.1f}us, "
+            f"windows moved: {moved_text})"
+        )
     if "adapt_final_modes" in result.counters:
         modes = ", ".join(
             f"{mode}x{count}"
@@ -242,11 +264,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--scale", default=None,
                    choices=["tiny", "quick", "default", "full"])
+    p.add_argument("--costs", default=None,
+                   choices=["default", "numa", "calibrated"],
+                   help="cost preset: 'default' (distance-blind), 'numa' "
+                        "(the stress-test NUMA/socket penalty preset), or "
+                        "'calibrated' (penalties derived from published "
+                        "STREAM/Intel-MLC latency ratios; see "
+                        "docs/PLACEMENT.md)")
     p.add_argument("--numa-costs", action="store_true",
-                   help="price NUMA/socket distance: use the documented "
-                        "non-zero locality-penalty preset "
-                        "(repro.cluster.costs.NUMA_PENALTY_COSTS) instead "
-                        "of the distance-blind default cost model")
+                   help="legacy alias for --costs numa")
+    p.add_argument("--placement", default="leader",
+                   choices=["leader", "optimized"],
+                   help="work-queue window homes (mpi+mpi): 'leader' pins "
+                        "each window to its tier-group leader (the paper's "
+                        "rule); 'optimized' solves for homes minimising "
+                        "predicted priced traffic "
+                        "(repro.cluster.placement_opt)")
     p.add_argument("--gantt", action="store_true",
                    help="render an ASCII Gantt chart of the execution")
     p.set_defaults(fn=_cmd_run)

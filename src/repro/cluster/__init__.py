@@ -1,19 +1,40 @@
 """Cluster machine model (substrate S2).
 
 Describes the simulated hardware: nodes, cores, per-core speed
-variation, OS noise, and the interconnect cost model.  The default
-parameters approximate the paper's *miniHPC* testbed: 16 dual-socket
-Intel Xeon nodes (16 workers per node used in the evaluation) joined by
-a 100 Gbit/s Omni-Path-like fabric in a non-blocking fat tree.
+variation, OS noise, the interconnect cost model, and the
+penalty-aware window-placement optimizer.  The default parameters
+approximate the paper's *miniHPC* testbed: 16 dual-socket Intel Xeon
+nodes (16 workers per node used in the evaluation) joined by a
+100 Gbit/s Omni-Path-like fabric in a non-blocking fat tree.
+
+Conventions (see each module's docstring for details): every latency
+and cost in this package is in **seconds**, and every distance/penalty
+query takes **MPI ranks** — the rank -> (node, socket, numa, core)
+mapping lives in :class:`~repro.cluster.topology.Placement`, so node
+indices never leak into cost queries.
 """
 
-from repro.cluster.costs import NUMA_PENALTY_COSTS, MpiCosts, OmpCosts
+from repro.cluster.costs import (
+    CALIBRATED_COSTS,
+    COST_PRESETS,
+    NUMA_PENALTY_COSTS,
+    MpiCosts,
+    OmpCosts,
+)
 from repro.cluster.interconnect import Interconnect, Tier
 from repro.cluster.machine import ClusterSpec, NodeSpec, minihpc
 from repro.cluster.noise import NoiseModel
+from repro.cluster.placement_opt import (
+    PlacementPlan,
+    leader_plan,
+    predict_profile,
+    solve_placement,
+)
 from repro.cluster.topology import Placement, block_placement
 
 __all__ = [
+    "CALIBRATED_COSTS",
+    "COST_PRESETS",
     "ClusterSpec",
     "Interconnect",
     "MpiCosts",
@@ -22,7 +43,11 @@ __all__ = [
     "NoiseModel",
     "OmpCosts",
     "Placement",
+    "PlacementPlan",
     "Tier",
     "block_placement",
+    "leader_plan",
     "minihpc",
+    "predict_profile",
+    "solve_placement",
 ]

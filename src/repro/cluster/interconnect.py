@@ -17,6 +17,7 @@ network) behaviour bit-exactly.
 Historically this class took *node indices* while every caller held
 *ranks*; the rank→node mapping now lives here (the class owns the
 placement), so callers pass ranks and cannot confuse the two spaces.
+All returned times and penalties are in seconds.
 """
 
 from __future__ import annotations

@@ -1,4 +1,12 @@
-"""Hardware description: nodes, cores, and whole clusters."""
+"""Hardware description: nodes, cores, and whole clusters.
+
+Conventions: network latency is in seconds and bandwidth in
+bytes/second; ``core_speed`` is a dimensionless multiplier (1.0 =
+nominal).  Everything here is indexed by *node index* and *core index
+within the node* — MPI ranks do not exist at this layer; the
+rank -> (node, socket, numa, core) mapping is
+:class:`repro.cluster.topology.Placement`'s job.
+"""
 
 from __future__ import annotations
 
@@ -70,6 +78,7 @@ class NodeSpec:
 
     @property
     def cores_per_socket(self) -> int:
+        """Cores in one socket (cores are numbered socket-contiguously)."""
         return self.cores // self.sockets
 
     @property
@@ -125,10 +134,12 @@ class ClusterSpec:
 
     @property
     def n_nodes(self) -> int:
+        """Number of nodes in the cluster."""
         return len(self.nodes)
 
     @property
     def total_cores(self) -> int:
+        """Total worker cores across all nodes."""
         return sum(node.cores for node in self.nodes)
 
     @property
@@ -169,6 +180,7 @@ class ClusterSpec:
         return counts.pop()
 
     def node_of(self, index: int) -> NodeSpec:
+        """The :class:`NodeSpec` at *node index* ``index`` (not a rank)."""
         return self.nodes[index]
 
     def core_speeds(self) -> np.ndarray:

@@ -9,6 +9,11 @@ The default used for figure reproduction is mild
 (``per_core_sigma=0.5%``, ``jitter_sigma=1%``) — the paper's testbed is
 a dedicated homogeneous cluster, so algorithmic imbalance dominates —
 but tests and ablations exercise much noisier settings.
+
+Conventions: noise factors are dimensionless multipliers applied to
+execution times (which are in seconds); per-core draws are indexed by
+``node * ppn + core`` in node order, never by MPI rank — the execution
+models own the rank mapping.
 """
 
 from __future__ import annotations

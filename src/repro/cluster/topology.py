@@ -23,6 +23,11 @@ hardware.  Multi-level scheduling stacks (node -> socket -> numa ->
 core) group ranks through :meth:`Placement.socket_of` /
 :meth:`Placement.ranks_on_socket` and the NUMA analogues
 :meth:`Placement.numa_of` / :meth:`Placement.ranks_on_numa`.
+
+Conventions: every query here takes or returns **MPI ranks** and
+machine coordinates (node index, socket within node, NUMA domain
+within socket, core within node); nothing in this module is a time —
+costs (in seconds) live in :mod:`repro.cluster.costs`.
 """
 
 from __future__ import annotations
@@ -50,9 +55,11 @@ class Placement:
 
     @property
     def size(self) -> int:
+        """Number of placed ranks (the world size)."""
         return len(self.slots)
 
     def node_of(self, rank: int) -> int:
+        """Node index hosting ``rank``."""
         return self.slots[rank][0]
 
     def socket_of(self, rank: int) -> int:
@@ -64,9 +71,11 @@ class Placement:
         return self.slots[rank][2]
 
     def core_of(self, rank: int) -> int:
+        """Core index (within its node) that ``rank`` is bound to."""
         return self.slots[rank][3]
 
     def ranks_on_node(self, node: int) -> List[int]:
+        """Ranks bound to one node (the node-level communicator), sorted."""
         return [r for r, (n, _, _, _) in enumerate(self.slots) if n == node]
 
     def ranks_on_socket(self, node: int, socket: int) -> List[int]:

@@ -19,7 +19,11 @@ from repro.experiments.figures import (
     FIGURES,
     FigureResult,
     FigureSpec,
+    PlacementVariantResult,
+    PlacementVariantSpec,
+    placement_variant,
     run_figure,
+    run_placement_variant,
     run_sync_illustration,
 )
 from repro.experiments.harness import Cell, GridRunner, simulate_cell
@@ -33,9 +37,13 @@ __all__ = [
     "FigureResult",
     "FigureSpec",
     "GridRunner",
+    "PlacementVariantResult",
+    "PlacementVariantSpec",
     "figure_mandelbrot",
     "figure_psia",
+    "placement_variant",
     "run_figure",
+    "run_placement_variant",
     "run_sync_illustration",
     "scale_from_env",
     "simulate_cell",

@@ -14,7 +14,8 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.api import run_hierarchical
-from repro.cluster.machine import minihpc
+from repro.cluster.costs import COST_PRESETS
+from repro.cluster.machine import heterogeneous, minihpc
 from repro.core.hierarchy import split_stack
 from repro.core.techniques import INTEL_OPENMP_SUPPORTED, PAPER_TECHNIQUES
 from repro.experiments.harness import Cell, GridRunner, series
@@ -383,6 +384,244 @@ def run_figure_spec(
     )
     cells = runner.sweep(spec.inter, spec.intras, APPROACHES)
     result = FigureResult(spec=spec, cells=cells)
+    result.run_checks()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# placement sweep: leader vs optimized window homes (PR 5 extension)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlacementVariantSpec:
+    """One placement comparison: a figure grid re-run on an *asymmetric*
+    cluster, once with leader window homes and once with optimized ones.
+
+    ``core_speeds`` are cycled over the nodes (the asymmetry: a slow
+    node 0 makes the rank-0 leader home of the global RMA window a
+    poor host), ``costs_preset`` names the
+    :data:`repro.cluster.costs.COST_PRESETS` entry pricing the
+    distance, and ``intras`` are full sub-stacks below ``inter`` (the
+    depth decides which tier queues exist to place).
+    """
+
+    figure_id: str
+    paper_ref: str
+    app: str
+    inter: str
+    intras: Tuple[str, ...]
+    node_counts: Tuple[int, ...] = (2, 4)
+    ppn: int = 8
+    sockets_per_node: int = 2
+    numa_per_socket: int = 2
+    core_speeds: Tuple[float, ...] = (0.6, 1.4)
+    costs_preset: str = "calibrated"
+
+    @property
+    def title(self) -> str:
+        """Human-readable header for the report."""
+        return (
+            f"{self.paper_ref}: {self.app} with {self.inter} inter-node "
+            f"scheduling — leader vs optimized window placement "
+            f"({self.ppn} workers/node, {self.sockets_per_node} sockets x "
+            f"{self.numa_per_socket} NUMA, node speeds "
+            f"{'/'.join(str(s) for s in self.core_speeds)}, "
+            f"{self.costs_preset} costs)"
+        )
+
+    def cluster_factory(self, n_nodes: int):
+        """The asymmetric cluster of ``n_nodes`` nodes for this sweep."""
+        speeds = [
+            self.core_speeds[i % len(self.core_speeds)] for i in range(n_nodes)
+        ]
+        return heterogeneous(
+            core_counts=[self.ppn] * n_nodes,
+            core_speeds=speeds,
+            socket_counts=[self.sockets_per_node] * n_nodes,
+            numa_counts=[self.numa_per_socket] * n_nodes,
+            name=f"asym-{self.figure_id}",
+        )
+
+
+def placement_variant(
+    figure_id: str,
+    sockets_per_node: int = 2,
+    numa_per_socket: int = 2,
+    mid: str = "FAC2",
+    node_counts: Tuple[int, ...] = (2, 4),
+    ppn: int = 8,
+    core_speeds: Tuple[float, ...] = (0.6, 1.4),
+    costs_preset: str = "calibrated",
+) -> PlacementVariantSpec:
+    """Derive the placement comparison of a paper figure.
+
+    Same application and inter technique as the original, but on an
+    asymmetric cluster (heterogeneous node speeds, dual-socket x NUMA
+    nodes) with each panel deepened to a depth-4 ``X+mid+mid+Y`` stack,
+    swept twice — ``placement="leader"`` vs ``placement="optimized"`` —
+    under a non-zero locality preset.  Not part of the paper: the
+    penalty-aware queue-placement extension sweep::
+
+        run_placement_variant(placement_variant("fig5a"))
+    """
+    base = FIGURES[figure_id]
+    if numa_per_socket > 1:
+        intras = tuple(f"{mid}+{mid}+{intra}" for intra in base.intras)
+    elif sockets_per_node > 1:
+        intras = tuple(f"{mid}+{intra}" for intra in base.intras)
+    else:
+        intras = base.intras
+    return PlacementVariantSpec(
+        figure_id=f"{base.figure_id}-placement",
+        paper_ref=f"{base.paper_ref} (queue-placement extension)",
+        app=base.app,
+        inter=base.inter,
+        intras=intras,
+        node_counts=node_counts,
+        ppn=ppn,
+        sockets_per_node=sockets_per_node,
+        numa_per_socket=numa_per_socket,
+        core_speeds=core_speeds,
+        costs_preset=costs_preset,
+    )
+
+
+@dataclass
+class PlacementVariantResult:
+    """Outcome of one placement comparison sweep."""
+
+    spec: PlacementVariantSpec
+    leader_cells: List[Cell]
+    optimized_cells: List[Cell]
+    checks: List[ShapeCheck] = field(default_factory=list)
+
+    def cost_series(self, placement: str, intra: str) -> Dict[int, float]:
+        """nodes -> measured priced placement cost for one panel."""
+        cells = (
+            self.leader_cells if placement == "leader" else self.optimized_cells
+        )
+        return {
+            c.nodes: c.placement_cost
+            for c in sorted(cells, key=lambda c: c.nodes)
+            if c.intra == intra
+        }
+
+    def run_checks(self) -> List[ShapeCheck]:
+        """Optimized homes must not cost more than leader homes, and at
+        least one panel must show a real (>1%) reduction."""
+        checks: List[ShapeCheck] = []
+        best_gain = 0.0
+        for intra in self.spec.intras:
+            leader = self.cost_series("leader", intra)
+            optimized = self.cost_series("optimized", intra)
+            total_leader = sum(leader.values())
+            total_optimized = sum(optimized.values())
+            gain = (
+                (total_leader - total_optimized) / total_leader
+                if total_leader > 0
+                else 0.0
+            )
+            best_gain = max(best_gain, gain)
+            checks.append(
+                ShapeCheck(
+                    f"{self.spec.inter}+{intra}: optimized placement priced "
+                    "cost <= leader",
+                    passed=total_optimized <= total_leader * 1.0000001,
+                    detail=(
+                        f"{total_leader * 1e6:.1f}us -> "
+                        f"{total_optimized * 1e6:.1f}us ({gain:+.1%})"
+                    ),
+                )
+            )
+        checks.append(
+            ShapeCheck(
+                "at least one panel cuts priced cost by > 1% "
+                "(the optimizer moved a window that matters)",
+                passed=best_gain > 0.01,
+                detail=f"best reduction {best_gain:.1%}",
+            )
+        )
+        self.checks = checks
+        return checks
+
+    def to_text(self) -> str:
+        """Paper-style report: per-panel priced-cost and makespan table."""
+        spec = self.spec
+        lines = [spec.title, "=" * len(spec.title)]
+        for intra in spec.intras:
+            lines.append(f"\n-- {spec.inter}+{intra} --")
+            header = (
+                f"{'nodes':>6} | {'leader cost':>12} | {'optimized':>12} | "
+                f"{'delta':>7} | {'leader T':>10} | {'optimized T':>11}"
+            )
+            lines.append(header)
+            lines.append("-" * len(header))
+            leader_t = {
+                c.nodes: c.time for c in self.leader_cells if c.intra == intra
+            }
+            optimized_t = {
+                c.nodes: c.time
+                for c in self.optimized_cells
+                if c.intra == intra
+            }
+            leader = self.cost_series("leader", intra)
+            optimized = self.cost_series("optimized", intra)
+            for nodes in spec.node_counts:
+                lead, opt = leader.get(nodes), optimized.get(nodes)
+                if lead is None or opt is None:
+                    continue
+                delta = (opt - lead) / lead if lead else 0.0
+                lines.append(
+                    f"{nodes:>6} | {lead * 1e6:>10.1f}us | {opt * 1e6:>10.1f}us"
+                    f" | {delta:>+6.1%} | {leader_t[nodes]:>9.4g}s |"
+                    f" {optimized_t[nodes]:>10.4g}s"
+                )
+        lines.append("\nshape checks (queue-placement extension):")
+        for check in self.checks or self.run_checks():
+            lines.append(check.line())
+        return "\n".join(lines)
+
+    @property
+    def all_passed(self) -> bool:
+        """Whether every placement shape check passed."""
+        return all(c.passed for c in (self.checks or self.run_checks()))
+
+
+def run_placement_variant(
+    spec: "PlacementVariantSpec | str",
+    scale: Optional[str] = None,
+    seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> PlacementVariantResult:
+    """Sweep one placement comparison (a :func:`placement_variant` spec
+    or a figure id to derive it from) and evaluate its shape checks."""
+    if isinstance(spec, str):
+        spec = placement_variant(spec)
+    workload = figure_workload(spec.app, scale or scale_from_env())
+    costs = COST_PRESETS[spec.costs_preset]
+    cells: Dict[str, List[Cell]] = {}
+    for placement in ("leader", "optimized"):
+        runner = GridRunner(
+            workload=workload,
+            ppn=spec.ppn,
+            node_counts=spec.node_counts,
+            seed=seed,
+            cluster_factory=spec.cluster_factory,
+            progress=progress,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            costs=costs,
+            placement=placement,
+        )
+        cells[placement] = runner.sweep(
+            spec.inter, spec.intras, [("mpi+mpi", lambda intra: True)]
+        )
+    result = PlacementVariantResult(
+        spec=spec,
+        leader_cells=cells["leader"],
+        optimized_cells=cells["optimized"],
+    )
     result.run_checks()
     return result
 

@@ -12,9 +12,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.api import run_hierarchical
+from repro.cluster.costs import CostModel
 from repro.cluster.machine import ClusterSpec, minihpc
 from repro.models.base import RunResult
 from repro.workloads.base import Workload
@@ -40,6 +41,12 @@ class Cell:
     cov: float
     n_events: int
     wall_seconds: float
+    #: measured distance-priced queue traffic (seconds): shared-window
+    #: locality penalties + global-window atomic service time — the
+    #: quantity window *placement* can change (0 for models that do not
+    #: report it, and under the distance-blind default costs the
+    #: shared-window share is 0)
+    placement_cost: float = 0.0
 
     @property
     def label(self) -> str:
@@ -75,8 +82,15 @@ def simulate_cell(
     nodes: int,
     ppn: int,
     seed: int,
+    costs: Optional[CostModel] = None,
+    placement: Union[str, Mapping[Any, int]] = "leader",
 ) -> Cell:
-    """Run one cell's simulation (shared by serial path and pool workers)."""
+    """Run one cell's simulation (shared by serial path and pool workers).
+
+    ``costs`` overrides the cost model (None = package default) and
+    ``placement`` the window-home policy — both default to the
+    historical behaviour, so pre-existing sweeps are untouched.
+    """
     t0 = time.perf_counter()
     result: RunResult = run_hierarchical(
         workload,
@@ -87,6 +101,8 @@ def simulate_cell(
         ppn=ppn,
         seed=seed,
         collect_chunks=False,
+        costs=costs,
+        placement=placement,
     )
     wall = time.perf_counter() - t0
     return Cell(
@@ -100,6 +116,7 @@ def simulate_cell(
         cov=result.metrics.cov_finish,
         n_events=result.n_events,
         wall_seconds=wall,
+        placement_cost=float(result.counters.get("placement_cost_s", 0.0)),
     )
 
 
@@ -131,6 +148,11 @@ class GridRunner:
     progress: Optional[Callable[[str], None]] = None
     jobs: int = 1
     cache_dir: Optional[str] = None
+    #: cost-model override for every cell (None = package default)
+    costs: Optional[CostModel] = None
+    #: window-placement policy for every cell ("leader" | "optimized" |
+    #: explicit map) — mpi+mpi cells only; see repro.cluster.placement_opt
+    placement: Union[str, Mapping[Any, int]] = "leader"
     #: filled by :meth:`sweep`: {"cells", "simulated", "cache_hits"}
     last_sweep_stats: Dict[str, int] = field(default_factory=dict, repr=False)
 
@@ -139,6 +161,7 @@ class GridRunner:
             self.cluster_factory = lambda n: minihpc(n, self.ppn)
 
     def run_cell(self, approach: str, inter: str, intra: str, nodes: int) -> Cell:
+        """Simulate one (approach, inter, intra, nodes) cell inline."""
         cell = simulate_cell(
             self.workload,
             self.cluster_factory(nodes),
@@ -148,6 +171,8 @@ class GridRunner:
             nodes,
             self.ppn,
             self.seed,
+            costs=self.costs,
+            placement=self.placement,
         )
         self._report(cell)
         return cell
@@ -195,7 +220,8 @@ class GridRunner:
             fingerprint = workload_fingerprint(self.workload)
             for index, (spec, cluster) in enumerate(zip(specs, clusters)):
                 keys[index] = cell_key(
-                    fingerprint, cluster, *spec, self.ppn, self.seed
+                    fingerprint, cluster, *spec, self.ppn, self.seed,
+                    costs=self.costs, placement=self.placement,
                 )
                 cells[index] = cache.get(keys[index])
                 if cells[index] is not None:
@@ -220,6 +246,8 @@ class GridRunner:
             self.seed,
             self.jobs,
             on_result=on_result,
+            costs=self.costs,
+            placement=self.placement,
         )
 
         self.last_sweep_stats = {

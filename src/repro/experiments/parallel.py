@@ -33,9 +33,19 @@ import os
 import tempfile
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from repro.cluster.costs import DEFAULT_COSTS
+from repro.cluster.costs import CostModel, DEFAULT_COSTS
 from repro.cluster.machine import ClusterSpec
 from repro.cluster.noise import MILD_NOISE
 from repro.workloads.base import Workload
@@ -46,8 +56,14 @@ if TYPE_CHECKING:  # pragma: no cover
 #: (approach, inter, intra, nodes) — one grid cell to simulate
 CellSpec = Tuple[str, str, str, int]
 
-# v2: cluster signatures carry the socket tier (three-level stacks)
-CACHE_FORMAT_VERSION = 2
+#: a window-placement argument as accepted by ``simulate_cell``
+PlacementArg = Union[str, Mapping]
+
+# v3: cluster signatures carry the NUMA tier (previously omitted —
+# four-level sweeps over different numa_per_socket would have collided),
+# cells carry placement_cost, and keys carry the per-sweep cost-model
+# override plus the window-placement policy
+CACHE_FORMAT_VERSION = 3
 
 
 # ---------------------------------------------------------------------------
@@ -69,10 +85,20 @@ def workload_fingerprint(workload: Workload) -> str:
 def cluster_signature(cluster: ClusterSpec) -> List:
     """JSON-friendly identity of a cluster spec (names excluded)."""
     return [
-        [[node.cores, node.core_speed, node.sockets] for node in cluster.nodes],
+        [
+            [node.cores, node.core_speed, node.sockets, node.numa_per_socket]
+            for node in cluster.nodes
+        ],
         cluster.network_latency,
         cluster.network_bandwidth,
     ]
+
+
+def placement_signature(placement: PlacementArg) -> object:
+    """JSON-friendly identity of a window-placement argument."""
+    if isinstance(placement, str):
+        return placement
+    return sorted((repr(key), int(rank)) for key, rank in placement.items())
 
 
 def model_signature() -> Dict[str, object]:
@@ -96,8 +122,15 @@ def cell_key(
     nodes: int,
     ppn: int,
     seed: int,
+    costs: Optional[CostModel] = None,
+    placement: PlacementArg = "leader",
 ) -> str:
-    """Content-addressed cache key for one grid cell."""
+    """Content-addressed cache key for one grid cell.
+
+    ``costs`` is the sweep's cost-model *override* (None = the package
+    default, whose identity is already folded in via
+    :func:`model_signature`); ``placement`` the window-home policy.
+    """
     payload = json.dumps(
         {
             "version": CACHE_FORMAT_VERSION,
@@ -110,6 +143,8 @@ def cell_key(
             "nodes": nodes,
             "ppn": ppn,
             "seed": seed,
+            "costs": None if costs is None else asdict(costs),
+            "placement": placement_signature(placement),
         },
         sort_keys=True,
         separators=(",", ":"),
@@ -183,20 +218,29 @@ def _strip_executor(workload: Workload) -> Workload:
 
 # Per-worker context, installed once by the pool initializer so the cost
 # vector crosses the process boundary a single time per worker.
-_WORKER_CTX: Optional[Tuple[Workload, int, int]] = None
+_WORKER_CTX: Optional[Tuple[Workload, int, int, Optional[CostModel], PlacementArg]] = None
 
 
-def _init_worker(workload: Workload, ppn: int, seed: int) -> None:
+def _init_worker(
+    workload: Workload,
+    ppn: int,
+    seed: int,
+    costs: Optional[CostModel] = None,
+    placement: PlacementArg = "leader",
+) -> None:
     global _WORKER_CTX
-    _WORKER_CTX = (workload, ppn, seed)
+    _WORKER_CTX = (workload, ppn, seed, costs, placement)
 
 
 def _run_cell_in_worker(task: Tuple[CellSpec, ClusterSpec]) -> "Cell":
     from repro.experiments.harness import simulate_cell
 
     (approach, inter, intra, nodes), cluster = task
-    workload, ppn, seed = _WORKER_CTX
-    return simulate_cell(workload, cluster, approach, inter, intra, nodes, ppn, seed)
+    workload, ppn, seed, costs, placement = _WORKER_CTX
+    return simulate_cell(
+        workload, cluster, approach, inter, intra, nodes, ppn, seed,
+        costs=costs, placement=placement,
+    )
 
 
 def run_cells(
@@ -207,20 +251,27 @@ def run_cells(
     seed: int,
     jobs: int,
     on_result: Optional[Callable[[int, "Cell"], None]] = None,
+    costs: Optional[CostModel] = None,
+    placement: PlacementArg = "leader",
 ) -> List["Cell"]:
     """Simulate ``specs`` (with matching ``clusters``) on ``jobs`` processes.
 
     Results come back in input order.  ``on_result(index, cell)`` fires
     as each cell completes (completion order under a pool) so callers
     can stream progress.  ``jobs`` is capped at the number of cells;
-    ``jobs <= 1`` falls back to inline execution.
+    ``jobs <= 1`` falls back to inline execution.  ``costs``/
+    ``placement`` apply to every cell (see
+    :func:`repro.experiments.harness.simulate_cell`).
     """
     from repro.experiments.harness import simulate_cell
 
     if jobs <= 1 or len(specs) <= 1:
         cells = []
         for index, (spec, cluster) in enumerate(zip(specs, clusters)):
-            cell = simulate_cell(workload, cluster, *spec, ppn, seed)
+            cell = simulate_cell(
+                workload, cluster, *spec, ppn, seed,
+                costs=costs, placement=placement,
+            )
             if on_result is not None:
                 on_result(index, cell)
             cells.append(cell)
@@ -231,7 +282,7 @@ def run_cells(
     with ProcessPoolExecutor(
         max_workers=min(jobs, len(specs)),
         initializer=_init_worker,
-        initargs=(shippable, ppn, seed),
+        initargs=(shippable, ppn, seed, costs, placement),
     ) as pool:
         futures = {
             pool.submit(_run_cell_in_worker, task): index

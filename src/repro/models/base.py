@@ -77,6 +77,11 @@ class ExecutionModel:
     """Base class: model-specific ``_execute`` over shared scaffolding."""
 
     name: str = "?"
+    #: whether the model consults the ``placement=`` knob (window-home
+    #: optimisation); models that leave it False accept only the
+    #: ``"leader"`` default and raise otherwise, so a requested
+    #: optimisation can never be silently ignored
+    supports_placement: bool = False
 
     def inter_pe_count(self, cluster: ClusterSpec, ppn: int) -> int:
         """Number of PEs at the inter (first) scheduling level.
@@ -100,8 +105,17 @@ class ExecutionModel:
         costs: Optional[CostModel] = None,
         noise: Optional[NoiseModel] = None,
         verify: bool = True,
+        placement: Any = "leader",
     ) -> RunResult:
         """Simulate one loop execution; see :func:`repro.api.run_hierarchical`."""
+        if (
+            not self.supports_placement
+            and not (isinstance(placement, str) and placement == "leader")
+        ):
+            raise ValueError(
+                f"{self.name} places windows at tier leaders only; "
+                f"placement={placement!r} requires the mpi+mpi model"
+            )
         run = _Run(
             model=self,
             workload=workload,
@@ -113,6 +127,7 @@ class ExecutionModel:
             collect_chunks=collect_chunks,
             costs=costs or DEFAULT_COSTS,
             noise=noise or MILD_NOISE,
+            placement=placement,
         )
         self._execute(run)
         return run.finish(verify=verify)
@@ -137,6 +152,7 @@ class _Run:
         collect_chunks: bool,
         costs: CostModel,
         noise: NoiseModel,
+        placement: Any = "leader",
     ):
         self.model = model
         self.workload = workload
@@ -145,6 +161,8 @@ class _Run:
         self.seed = seed
         self.costs = costs
         self.noise = noise
+        #: window-placement knob ("leader" | "optimized" | explicit map)
+        self.placement = placement
         self.collect_chunks = collect_chunks
         self.sim = Simulator(seed=seed)
         self.trace: Optional[Trace] = Trace() if collect_trace else None

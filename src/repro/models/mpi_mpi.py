@@ -188,6 +188,7 @@ class MpiMpiModel(ExecutionModel):
     """Hierarchical DLS via MPI+MPI (the proposed approach)."""
 
     name = "mpi+mpi"
+    supports_placement = True
 
     def _execute(self, run: _Run) -> None:
         depth = run.spec.depth
@@ -199,6 +200,20 @@ class MpiMpiModel(ExecutionModel):
                 f"({run.spec.label})"
             )
         run.n_sched_levels = depth
+        # window placement: None = historical leader homes (fast path,
+        # bit-exact); a plan moves the global host and/or window homes
+        plan = None
+        if not (isinstance(run.placement, str) and run.placement == "leader"):
+            from repro.cluster.placement_opt import resolve_placement
+
+            plan = resolve_placement(
+                run.placement,
+                run.spec,
+                run.workload.n,
+                run.cluster,
+                run.ppn,
+                run.costs,
+            )
         world = MpiWorld(run.sim, run.cluster, ppn=run.ppn, costs=run.costs)
         inter_pes = world.size if depth == 1 else run.cluster.n_nodes
         inter_calc = run.spec.inter.make_calculator(
@@ -211,10 +226,10 @@ class MpiMpiModel(ExecutionModel):
             world,
             inter_calc,
             run.workload.n,
-            host_rank=0,
+            host_rank=0 if plan is None else plan.global_host,
             pinned=run.spec.inter.technique.pinned_per_pe,
         )
-        local_queues = self._build_queues(run, world, queue, depth)
+        local_queues = self._build_queues(run, world, queue, depth, plan)
         finish_times = {}
         chunk_counts = {}
         iter_counts = {}
@@ -252,6 +267,32 @@ class MpiMpiModel(ExecutionModel):
         run.counters["lock_acquisitions"] = sum(
             lq.shm.n_acquisitions for lq in local_queues.values()
         )
+        # --- placement accounting: the distance-priced share of the
+        # queue traffic (what choosing window homes can change).
+        # ``lock_penalty_s`` sums the locality penalties actually
+        # charged on every shared window (lock attempts, unlocks,
+        # loads, accesses); ``global_atomic_time_s`` is the full
+        # service time of the global RMA window's atomics (latency +
+        # target processing + penalty).  Their sum is the measured
+        # placement objective reported by the placement sweeps.
+        lock_penalty = sum(
+            lq.shm.total_penalty_s for lq in local_queues.values()
+        )
+        run.counters["lock_penalty_s"] = lock_penalty
+        run.counters["global_atomic_time_s"] = queue.window.total_atomic_time_s
+        run.counters["placement_cost_s"] = (
+            lock_penalty + queue.window.total_atomic_time_s
+        )
+        run.counters["placement"] = (
+            run.placement if isinstance(run.placement, str) else "explicit"
+        )
+        run.counters["window_homes"] = {
+            "global": queue.window.host_rank,
+            **{key: lq.shm.home_rank for key, lq in local_queues.items()},
+        }
+        if plan is not None:
+            run.counters["placement_moved"] = plan.moved
+            run.counters["placement_objective_s"] = plan.objective
         # ADAPT selector reporting: every selector instantiated at any
         # tier (plus a root-level one) contributes its switch ledger
         adapt_calcs = [
@@ -272,13 +313,21 @@ class MpiMpiModel(ExecutionModel):
 
     # ------------------------------------------------------------------
     def _build_queues(
-        self, run: _Run, world: MpiWorld, queue: GlobalQueue, depth: int
+        self,
+        run: _Run,
+        world: MpiWorld,
+        queue: GlobalQueue,
+        depth: int,
+        plan=None,
     ) -> Dict[object, _LocalQueue]:
         """Create one local queue per tier group (tier 1: nodes, tier 2:
         sockets, tier 3: NUMA domains), wired into a refill tree rooted
-        at the global queue."""
+        at the global queue.  ``plan`` (a
+        :class:`~repro.cluster.placement_opt.PlacementPlan`) overrides
+        each window's home rank; None keeps the leader defaults."""
         if depth == 1:
             return {}
+        home_of = (lambda key: None) if plan is None else plan.home_of
         placement = world.placement
         local_queues: Dict[object, _LocalQueue] = {}
         for node in range(run.cluster.n_nodes):
@@ -288,7 +337,7 @@ class MpiMpiModel(ExecutionModel):
                 run,
                 level=1,
                 n_children=n_children,
-                shm=world.create_shared_window(node, {}),
+                shm=world.create_shared_window(node, {}, home_rank=home_of(node)),
                 rng_stream=f"intra-rnd.n{node}",
                 parent=None,
                 parent_pe=node,
@@ -304,7 +353,9 @@ class MpiMpiModel(ExecutionModel):
                     run,
                     level=2,
                     n_children=socket_children,
-                    shm=world.create_shared_window((node, socket), {}),
+                    shm=world.create_shared_window(
+                        (node, socket), {}, home_rank=home_of((node, socket))
+                    ),
                     rng_stream=f"intra-rnd.n{node}.s{socket}",
                     parent=local_queues[node],
                     parent_pe=position,
@@ -318,7 +369,9 @@ class MpiMpiModel(ExecutionModel):
                         level=3,
                         n_children=len(numa_members),
                         shm=world.create_shared_window(
-                            (node, socket, numa), {}
+                            (node, socket, numa),
+                            {},
+                            home_rank=home_of((node, socket, numa)),
                         ),
                         rng_stream=f"intra-rnd.n{node}.s{socket}.m{numa}",
                         parent=local_queues[(node, socket)],

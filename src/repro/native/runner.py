@@ -96,6 +96,13 @@ class NativeResult:
     #: knobs; under a NUMA-penalty preset this is the number the
     #: flat-vs-per-NUMA queue-placement benchmark compares.
     simulated_lock_penalty_s: Optional[float] = None
+    #: topology-aware runs only: tier-group key -> the (node, socket,
+    #: numa)-style leaf path whose NUMA domain homes that queue's
+    #: memory (leader first-touch by default; the ``placement=`` knob
+    #: of :meth:`NativeRunner.run_hierarchical` can move it)
+    group_homes: Optional[Dict[GroupKey, GroupKey]] = field(
+        default=None, repr=False
+    )
 
     @property
     def total_iterations(self) -> int:
@@ -240,6 +247,7 @@ class NativeRunner:
         *,
         topology: Union[NodeSpec, ClusterSpec, None] = None,
         costs: Optional[CostModel] = None,
+        placement: Union[str, Dict[GroupKey, Any]] = "leader",
     ) -> NativeResult:
         """Multi-level scheduling: groups with local queues (MPI+MPI style).
 
@@ -265,11 +273,23 @@ class NativeRunner:
         tier-atomic penalty between the grabbing worker's core and the
         queue's home NUMA domain — the native-side counterpart of the
         simulator's poll-wait accounting.
+
+        ``placement`` (topology mode only) chooses each queue's home
+        NUMA domain for that pricing: ``"leader"`` (first-touch by the
+        group's first worker, the historical rule), ``"optimized"``
+        (the :mod:`repro.cluster.placement_opt` decision rule — move
+        only when the priced ledger prediction is strictly cheaper), or
+        an explicit ``{group key -> worker index | leaf path}``
+        mapping.  The chosen homes are reported as ``group_homes``.
         """
         if topology is not None:
             if n_groups is not None:
                 raise TypeError("pass either n_groups or topology=, not both")
-            return self._run_hierarchical_topology(spec, topology, costs)
+            return self._run_hierarchical_topology(
+                spec, topology, costs, placement
+            )
+        if not (isinstance(placement, str) and placement == "leader"):
+            raise TypeError("placement= requires topology= (tier-aware groups)")
         if costs is not None:
             raise TypeError("costs= requires topology= (tier-aware groups)")
         if n_groups is None:
@@ -318,6 +338,7 @@ class NativeRunner:
         spec: HierarchicalSpec,
         topology: Union[NodeSpec, ClusterSpec],
         costs: Optional[CostModel] = None,
+        placement: Union[str, Dict[GroupKey, Any]] = "leader",
     ) -> NativeResult:
         """Topology-aware hierarchical mode: placement-derived groups."""
         slots = self._tier_paths(topology)
@@ -392,22 +413,98 @@ class NativeRunner:
             key: dict(q.acquisitions) for key, q in queues.items()
         }
         # price the lock traffic through the (possibly tiered) cost
-        # model: each queue's memory lives with its lowest-numbered
-        # member (first-touch), like the simulator's SharedWindow homes
+        # model: each queue's memory defaults to its lowest-numbered
+        # member's NUMA domain (first-touch), like the simulator's
+        # SharedWindow homes; the placement knob can move it
         leaf_paths = [path[-1] for path in slots]
         mpi = (costs or DEFAULT_COSTS).mpi
+        group_members = {
+            key: [w for w, path in enumerate(slots) if path[len(key) - 1] == key]
+            for key in queues
+        }
+        homes = self._native_homes(placement, group_members, leaf_paths, mpi)
         penalty = 0.0
         for key, q in queues.items():
-            members = [
-                w for w, path in enumerate(slots) if path[len(key) - 1] == key
-            ]
-            home = leaf_paths[members[0]]
+            home = homes[key]
             for worker, n_acquired in q.acquisitions.items():
                 penalty += n_acquired * mpi.tier_atomic_penalty(
                     _leaf_tier(leaf_paths[worker], home)
                 )
         result.simulated_lock_penalty_s = penalty
+        result.group_homes = homes
         return result
+
+    @staticmethod
+    def _native_homes(
+        placement: Union[str, Dict[GroupKey, Any]],
+        group_members: Dict[GroupKey, List[int]],
+        leaf_paths: List[GroupKey],
+        mpi,
+    ) -> Dict[GroupKey, GroupKey]:
+        """Resolve each queue's home NUMA path for the priced ledger.
+
+        ``"leader"`` homes every queue with its first member's leaf
+        path; ``"optimized"`` applies the
+        :mod:`repro.cluster.placement_opt` decision rule with uniform
+        per-member weights (every worker is expected to grab its queues
+        equally often) — a candidate domain replaces the leader only
+        when its predicted tier-atomic cost is strictly cheaper; an
+        explicit mapping pins homes by worker index or leaf path.
+        """
+        homes: Dict[GroupKey, GroupKey] = {}
+        if not isinstance(placement, str):
+            unknown = set(placement) - set(group_members)
+            if unknown:
+                raise ValueError(
+                    f"placement map names unknown groups {sorted(unknown)}; "
+                    f"known groups: {sorted(group_members)}"
+                )
+        for key, members in group_members.items():
+            leader = leaf_paths[members[0]]
+            if isinstance(placement, str):
+                if placement == "leader":
+                    homes[key] = leader
+                    continue
+                if placement != "optimized":
+                    raise ValueError(
+                        f"unknown placement {placement!r}; choose 'leader', "
+                        "'optimized' or an explicit mapping"
+                    )
+
+                # same strict-improvement decision rule as the
+                # simulator's solver, so sim and native agree on moves
+                from repro.cluster.placement_opt import _improves
+
+                def cost_of(home: GroupKey) -> float:
+                    return sum(
+                        mpi.tier_atomic_penalty(_leaf_tier(leaf_paths[w], home))
+                        for w in members
+                    )
+
+                best, best_cost = leader, cost_of(leader)
+                for candidate in dict.fromkeys(leaf_paths[w] for w in members):
+                    cost = cost_of(candidate)
+                    if _improves(cost, best_cost):
+                        best, best_cost = candidate, cost
+                homes[key] = best
+                continue
+            choice = placement.get(key)
+            if choice is None:
+                homes[key] = leader
+            elif isinstance(choice, int):
+                if choice not in members:
+                    raise ValueError(
+                        f"worker {choice} is not a member of group {key!r}"
+                    )
+                homes[key] = leaf_paths[choice]
+            else:
+                path = tuple(choice)
+                if path not in {leaf_paths[w] for w in members}:
+                    raise ValueError(
+                        f"leaf path {path!r} is outside group {key!r}"
+                    )
+                homes[key] = path
+        return homes
 
     @staticmethod
     def _tier_paths(

@@ -54,6 +54,10 @@ class Window:
         # statistics
         self.n_atomics = 0
         self.n_remote_atomics = 0
+        #: accumulated atomic service seconds (latency both ways +
+        #: serialised target processing + locality-tier penalty) — the
+        #: distance-priced traffic the *host* placement can change.
+        self.total_atomic_time_s = 0.0
 
     # ------------------------------------------------------------------
     def _check_cell(self, cell: str) -> None:
@@ -78,6 +82,7 @@ class Window:
             mpi.rma_atomic if remote else mpi.shm_atomic
         ) + mpi.tier_atomic_penalty(tier)
 
+        self.total_atomic_time_s += processing + 2.0 * latency
         if latency:
             yield Overhead(latency)
         yield from self._unit.acquire(owner=f"rank{ctx.rank}")
@@ -110,6 +115,7 @@ class Window:
             mpi.rma_atomic if remote else mpi.shm_atomic
         ) + mpi.tier_atomic_penalty(tier)
 
+        self.total_atomic_time_s += processing + 2.0 * latency
         if latency:
             yield Overhead(latency)
         yield from self._unit.acquire(owner=f"rank{ctx.rank}")

@@ -44,7 +44,13 @@ class SharedWindow:
     hardware).
     """
 
-    def __init__(self, world: "MpiWorld", node, cells: Dict[str, int]):
+    def __init__(
+        self,
+        world: "MpiWorld",
+        node,
+        cells: Dict[str, int],
+        home_rank: Optional[int] = None,
+    ):
         self.world = world
         #: window key: node index, or any hashable for finer-grained
         #: windows (e.g. ``(node, socket)`` for a socket-level queue)
@@ -61,12 +67,16 @@ class SharedWindow:
         )
         self._lock = Lock(world.sim, name=f"shmwin@node{tag}")
         self._rng = world.sim.rng(f"shm-lockpoll.node{tag}")
-        #: rank whose NUMA domain physically hosts the window's pages —
-        #: the lowest rank of the tier group the key names (first-touch
-        #: allocation by the group leader).  Accesses from other ranks
-        #: pay the locality-tier penalties of the cost model; None for
-        #: free-form keys, which stay distance-blind.
-        self.home_rank: Optional[int] = self._home_of(world, node)
+        #: rank whose NUMA domain physically hosts the window's pages.
+        #: Default: the lowest rank of the tier group the key names
+        #: (first-touch allocation by the group leader); a placement
+        #: plan may override it with any group member via ``home_rank``.
+        #: Accesses from other ranks pay the locality-tier penalties of
+        #: the cost model; None for free-form keys, which stay
+        #: distance-blind.
+        self.home_rank: Optional[int] = (
+            home_rank if home_rank is not None else self._home_of(world, node)
+        )
         #: per-rank (load, atomic) penalty memo — the tier of a
         #: (rank, window) pair never changes during a run
         self._penalties: Dict[int, Tuple[float, float]] = {}
@@ -76,6 +86,11 @@ class SharedWindow:
         self.total_poll_wait = 0.0
         self.max_attempts_per_acquire = 0
         self.n_syncs = 0
+        #: accumulated locality-tier penalty seconds actually charged on
+        #: this window (lock attempts, unlocks, loads, accesses,
+        #: atomics) — the distance-priced share of its traffic, which is
+        #: what queue *placement* can change.  Zero with default knobs.
+        self.total_penalty_s = 0.0
 
     @staticmethod
     def _home_of(world: "MpiWorld", key) -> Optional[int]:
@@ -125,10 +140,12 @@ class SharedWindow:
         # each lock-attempt message travels to the window's home NUMA
         # domain, so remote-NUMA/cross-socket requesters pay the tier
         # penalty per attempt (zero with default knobs)
-        attempt_cost = mpi.shm_lock_attempt + self._penalty_of(ctx)[1]
+        atomic_penalty = self._penalty_of(ctx)[1]
+        attempt_cost = mpi.shm_lock_attempt + atomic_penalty
         attempts = 0
         while True:
             attempts += 1
+            self.total_penalty_s += atomic_penalty
             yield Overhead(attempt_cost)
             if self._lock.try_acquire(owner):
                 break
@@ -142,7 +159,9 @@ class SharedWindow:
     def unlock(self, ctx: "RankCtx"):
         """``MPI_Win_unlock`` (epoch close: one more message home)."""
         self._require_held(ctx)
-        yield Overhead(self.world.costs.mpi.shm_unlock + self._penalty_of(ctx)[1])
+        penalty = self._penalty_of(ctx)[1]
+        self.total_penalty_s += penalty
+        yield Overhead(self.world.costs.mpi.shm_unlock + penalty)
         self._lock.release()
 
     def sync(self, ctx: "RankCtx"):
@@ -180,14 +199,18 @@ class SharedWindow:
         """Read one named cell (generator; requires the calling rank's lock)."""
         self._require_held(ctx)
         self._check_cell(cell)
-        yield Overhead(self.world.costs.mpi.shm_access + self._penalty_of(ctx)[0])
+        penalty = self._penalty_of(ctx)[0]
+        self.total_penalty_s += penalty
+        yield Overhead(self.world.costs.mpi.shm_access + penalty)
         return self.cells[cell]
 
     def store(self, ctx: "RankCtx", cell: str, value: int):
         """Write one named cell (generator; requires the calling rank's lock)."""
         self._require_held(ctx)
         self._check_cell(cell)
-        yield Overhead(self.world.costs.mpi.shm_access + self._penalty_of(ctx)[0])
+        penalty = self._penalty_of(ctx)[0]
+        self.total_penalty_s += penalty
+        yield Overhead(self.world.costs.mpi.shm_access + penalty)
         self.cells[cell] = value
 
     def access(self, ctx: "RankCtx", n: int = 1):
@@ -198,15 +221,17 @@ class SharedWindow:
         touches through this method (and hold the lock).
         """
         self._require_held(ctx)
-        yield Overhead(
-            n * (self.world.costs.mpi.shm_access + self._penalty_of(ctx)[0])
-        )
+        penalty = self._penalty_of(ctx)[0]
+        self.total_penalty_s += n * penalty
+        yield Overhead(n * (self.world.costs.mpi.shm_access + penalty))
 
     def atomic_fetch_add(self, ctx: "RankCtx", cell: str, value: int):
         """Lock-free shared atomic (``MPI_Fetch_and_op`` on the local
         window) — does *not* require holding the window lock."""
         self._check_cell(cell)
-        yield Overhead(self.world.costs.mpi.shm_atomic + self._penalty_of(ctx)[1])
+        penalty = self._penalty_of(ctx)[1]
+        self.total_penalty_s += penalty
+        yield Overhead(self.world.costs.mpi.shm_atomic + penalty)
         old = self.cells[cell]
         self.cells[cell] = old + value
         return old
@@ -228,6 +253,7 @@ class SharedWindow:
         return self.n_attempts / self.n_acquisitions
 
     def contention_stats(self) -> Dict[str, float]:
+        """Lock-contention counters of this window (waits in seconds)."""
         return {
             "acquisitions": self.n_acquisitions,
             "attempts": self.n_attempts,
@@ -235,4 +261,5 @@ class SharedWindow:
             "max_attempts": self.max_attempts_per_acquire,
             "total_poll_wait": self.total_poll_wait,
             "syncs": self.n_syncs,
+            "total_penalty_s": self.total_penalty_s,
         }

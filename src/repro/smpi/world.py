@@ -81,7 +81,9 @@ class MpiWorld:
         self._windows.append(window)
         return window
 
-    def create_shared_window(self, node, cells: Dict[str, int]) -> SharedWindow:
+    def create_shared_window(
+        self, node, cells: Dict[str, int], home_rank: Optional[int] = None
+    ) -> SharedWindow:
         """Allocate a shared-memory window (``MPI_Win_allocate_shared``).
 
         ``node`` is the window's key: a node index for the classic
@@ -89,10 +91,14 @@ class MpiWorld:
         or ``(node, socket, numa)`` tuple) for the finer-grained windows
         of deeper scheduling stacks — each key gets its own lock, so
         socket- and NUMA-level queues do not contend on the node lock.
+
+        ``home_rank`` overrides the rank whose NUMA domain first-touches
+        the window's pages (default: the tier group's leader) — the
+        lever of :mod:`repro.cluster.placement_opt`.
         """
         if node in self._shared_windows:
             raise RuntimeError(f"shared window {node!r} already exists")
-        window = SharedWindow(self, node, cells)
+        window = SharedWindow(self, node, cells, home_rank=home_rank)
         self._shared_windows[node] = window
         return window
 

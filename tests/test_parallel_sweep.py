@@ -16,6 +16,7 @@ from repro.experiments.figures import APPROACHES, run_figure
 from repro.experiments.harness import Cell, GridRunner
 from repro.experiments.parallel import CellCache, cell_key, workload_fingerprint
 from repro.experiments.workloads import figure_workload
+from repro.cluster.costs import CALIBRATED_COSTS
 from repro.cluster.machine import minihpc
 from repro.workloads.base import Workload
 
@@ -150,6 +151,25 @@ def test_cell_key_distinguishes_every_input(workload):
         cell_key(fp, cluster, "mpi+mpi", "GSS", "SS", 2, 8, 0),
         cell_key(fp, cluster, "mpi+mpi", "GSS", "SS", 2, 4, 7),
         cell_key(fp, minihpc(4, 4), "mpi+mpi", "GSS", "SS", 2, 4, 0),
+        # PR-5 inputs: the NUMA tier, cost-model overrides, and the
+        # window-placement policy all change the simulated result, so
+        # each must change the digest
+        cell_key(
+            fp, minihpc(2, 4, sockets_per_node=2, numa_per_socket=2),
+            "mpi+mpi", "GSS", "SS", 2, 4, 0,
+        ),
+        cell_key(
+            fp, cluster, "mpi+mpi", "GSS", "SS", 2, 4, 0,
+            costs=CALIBRATED_COSTS,
+        ),
+        cell_key(
+            fp, cluster, "mpi+mpi", "GSS", "SS", 2, 4, 0,
+            placement="optimized",
+        ),
+        cell_key(
+            fp, cluster, "mpi+mpi", "GSS", "SS", 2, 4, 0,
+            placement={"global": 3},
+        ),
     ]
     assert len({base, *variants}) == len(variants) + 1
 

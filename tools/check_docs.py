@@ -5,7 +5,11 @@ Scans ``README.md`` and ``docs/*.md`` for markdown links and verifies
 
 * relative links resolve to files/directories that exist in the repo;
 * ``#anchor`` fragments (intra- or cross-file) match a heading's
-  GitHub-style slug in the target document;
+  GitHub-style slug in the target document **exactly** — the fragment
+  is compared verbatim against the generated slugs (GitHub fragments
+  are lowercase; a ``#Mixed-Case`` link 404s there, so it fails here),
+  and duplicate headings get GitHub's ``-1``/``-2`` suffixes so links
+  to the later occurrences validate too;
 * ``http(s)``/``mailto`` links are skipped (CI runs offline).
 
 Usage (from the repository root)::
@@ -45,19 +49,35 @@ def iter_prose_lines(path: pathlib.Path) -> Iterator[Tuple[int, str]]:
 
 
 def slugify(heading: str) -> str:
-    """GitHub's anchor slug: lowercase, drop punctuation, spaces->dashes."""
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces->dashes.
+
+    Backticks and emphasis asterisks are markdown markup and vanish;
+    underscores are *literal text* and survive (GitHub slugs
+    ``CALIBRATED_COSTS`` with the underscore intact).
+    """
     text = heading.strip().lower()
-    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[`*]", "", text)
     text = re.sub(r"[^\w\- ]", "", text)
     return text.replace(" ", "-")
 
 
 def anchors_of(path: pathlib.Path) -> Set[str]:
+    """All anchor slugs a document exposes, GitHub-style.
+
+    Duplicate headings yield suffixed anchors exactly as GitHub
+    generates them: the first occurrence gets the bare slug, the
+    ``k``-th repeat gets ``slug-k``.
+    """
     anchors: Set[str] = set()
+    counts: dict = {}
     for _, line in iter_prose_lines(path):
         match = HEADING_RE.match(line)
-        if match:
-            anchors.add(slugify(match.group(1)))
+        if not match:
+            continue
+        slug = slugify(match.group(1))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if seen == 0 else f"{slug}-{seen}")
     return anchors
 
 
@@ -81,7 +101,10 @@ def check() -> List[str]:
                         errors.append(
                             f"{where}: anchor on non-markdown target -> {target}"
                         )
-                    elif slugify(anchor) not in anchors_of(resolved):
+                    elif anchor not in anchors_of(resolved):
+                        # exact match: GitHub fragments are the literal
+                        # generated slug; re-slugifying the fragment
+                        # would wave through links GitHub 404s on
                         errors.append(
                             f"{where}: missing anchor #{anchor} -> {target}"
                         )
