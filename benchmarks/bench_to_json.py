@@ -193,6 +193,60 @@ def collect(rounds: int = 30) -> Dict[str, Dict[str, float]]:
         stats["windows_moved"] = [str(k) for k in plan.moved]
         results[key] = stats
 
+    # Fault injection + recovery (PR 6): recovery overhead vs the
+    # failure-free makespan on a 4x8 mpi+mpi cluster.  Fault-free runs
+    # pay nothing (the zero-default guarantee keeps them bit-identical
+    # to the seed engine, so their row doubles as the baseline); seeded
+    # crash schedules kill ranks mid-run — including rank 0, the global
+    # window host and node-0 tier leader — and the simulated makespan
+    # measures what lease breaking, window failover and re-depositing
+    # the dead ranks' claimed chunks cost on the survivors.
+    from repro.cluster.faults import FaultModel
+    from repro.cluster.machine import minihpc
+
+    fault_cluster = minihpc(4, 8)
+    fault_wl = uniform_workload(2000, low=5e-5, high=5e-4, seed=5)
+
+    def run_faulted(faults):
+        return run_hierarchical(
+            fault_wl, fault_cluster, inter="FAC2", intra="SS",
+            approach="mpi+mpi", ppn=8, seed=0, collect_chunks=False,
+            faults=faults,
+        )
+
+    fault_free = run_faulted(None)
+    for key, faults in (
+        ("faults_none_baseline", None),
+        (
+            "faults_two_crashes",
+            FaultModel.random_crashes(2, 4, 8, (5e-4, 5e-3), seed=0),
+        ),
+        (
+            "faults_four_crashes",
+            FaultModel.random_crashes(4, 4, 8, (5e-4, 5e-3), seed=0),
+        ),
+        ("faults_coordinator_crash", FaultModel.parse("crash:0@0.001")),
+        (
+            "faults_mixed_crash_slow_stall",
+            FaultModel.parse("crash:5@0.002,slow:2@0.001:0.5,stall:9@0.001:0.002"),
+        ),
+    ):
+        stats = _time_best(lambda: run_faulted(faults), hier_rounds)
+        result = run_faulted(faults)
+        stats["simulated_parallel_time_s"] = result.parallel_time
+        stats["recovery_overhead_fraction"] = (
+            result.parallel_time / fault_free.parallel_time - 1.0
+        )
+        for counter in (
+            "failures_injected",
+            "chunks_reexecuted",
+            "failovers",
+            "lock_leases_broken",
+        ):
+            if counter in result.counters:
+                stats[counter] = result.counters[counter]
+        results[key] = stats
+
     # Topology-aware native groups: the same depth-4 stack on real
     # threads, groups formed from the machine description.
     from repro.core.hierarchy import HierarchicalSpec

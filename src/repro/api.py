@@ -59,6 +59,8 @@ def run_hierarchical(
     costs: Optional[Any] = None,
     noise: Optional[Any] = None,
     placement: Any = "leader",
+    faults: Union[str, Any, None] = None,
+    max_sim_time: Optional[float] = None,
     **spec_kwargs: Any,
 ) -> "RunResult":
     """Run one hierarchical DLS combination and return its result.
@@ -99,6 +101,18 @@ def run_hierarchical(
         :mod:`repro.cluster.placement_opt` to minimise predicted priced
         traffic), or an explicit ``{window key -> rank}`` mapping
         (``"global"`` pins the RMA host).
+    faults:
+        A :class:`repro.cluster.faults.FaultModel`, or a spec string
+        like ``"crash:5@0.002,slow:2@0.001:0.5"`` (see
+        :meth:`~repro.cluster.faults.FaultModel.parse`).  ``None`` or an
+        inactive model keeps every code path bit-identical to the
+        fault-free engine.  Active faults require a failure-aware model
+        (``mpi+mpi``, ``flat-mpi`` or ``master-worker``).
+    max_sim_time:
+        Engine watchdog deadline in simulated seconds; a run that has
+        not completed by then raises
+        :class:`repro.sim.engine.SimulationTimeout` with diagnostics
+        instead of spinning forever.
 
     Returns
     -------
@@ -107,6 +121,10 @@ def run_hierarchical(
     """
     from repro.core.hierarchy import HierarchicalSpec, split_stack
 
+    if isinstance(faults, str):
+        from repro.cluster.faults import FaultModel
+
+        faults = FaultModel.parse(faults)
     spec = HierarchicalSpec.of_levels(
         *split_stack(inter), *split_stack(intra), **spec_kwargs
     )
@@ -122,6 +140,8 @@ def run_hierarchical(
         costs=costs,
         noise=noise,
         placement=placement,
+        faults=faults,
+        max_sim_time=max_sim_time,
     )
 
 

@@ -27,6 +27,11 @@ Examples::
               --nodes 4 --ppn 16 --placement optimized --costs calibrated
               # penalty-aware queue placement: window homes solved to
               # minimise predicted priced traffic, calibrated penalties
+    repro run --techniques FAC2+SS --nodes 4 --ppn 4 \
+              --faults crash:5@0.002,slow:2@0.001:0.5
+              # fault injection: rank 5 crash-stops at t=2ms, rank 2
+              # runs at half speed from t=1ms; the run completes on the
+              # survivors (see docs/ROBUSTNESS.md)
 """
 
 from __future__ import annotations
@@ -159,9 +164,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         collect_chunks=False,
         costs=costs,
         placement=args.placement,
+        faults=args.faults,
+        max_sim_time=args.max_sim_time,
     )
     print(result.describe())
     print(result.metrics.summary())
+    if "failures_injected" in result.counters:
+        dead = result.counters.get("dead_ranks", [])
+        dead_text = ",".join(str(r) for r in dead) if dead else "none"
+        print(
+            f"faults: {result.counters['failures_injected']} injected "
+            f"(dead ranks: {dead_text}), "
+            f"{result.counters['chunks_reexecuted']} chunk(s) re-executed, "
+            f"{result.counters['failovers']} failover(s), "
+            f"{result.counters['lock_leases_broken']} lease(s) broken"
+        )
     if "placement_cost_s" in result.counters:
         moved = result.counters.get("placement_moved", ())
         moved_text = (
@@ -280,6 +297,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "rule); 'optimized' solves for homes minimising "
                         "predicted priced traffic "
                         "(repro.cluster.placement_opt)")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="fault schedule: comma-joined crash:R@T (rank R "
+                        "crash-stops at simulated time T), slow:R@T:F "
+                        "(rank R runs at speed fraction F from T) and "
+                        "stall:R@T:D (rank R freezes for D seconds) "
+                        "tokens, e.g. crash:5@0.002,slow:2@0.001:0.5; "
+                        "requires a failure-aware approach (mpi+mpi, "
+                        "flat-mpi, master-worker)")
+    p.add_argument("--max-sim-time", type=float, default=None,
+                   metavar="SECONDS",
+                   help="engine watchdog: abort with diagnostics if the "
+                        "simulation passes this simulated time")
     p.add_argument("--gantt", action="store_true",
                    help="render an ASCII Gantt chart of the execution")
     p.set_defaults(fn=_cmd_run)

@@ -1,0 +1,312 @@
+"""Deterministic fault-injection model for simulated runs.
+
+A :class:`FaultModel` describes *what goes wrong and when* during a
+simulated execution: crash-stop events (a rank dies at a simulated
+time, measured in seconds), fail-slow degradation (a rank's execution
+speed is multiplied by a factor from some time on), and transient
+stalls (a rank freezes for a fixed number of seconds).  Like
+:class:`~repro.cluster.noise.NoiseModel` it is **zero-default**: the
+empty model injects nothing, and passing ``faults=None`` (or an empty
+``FaultModel()``) to a run leaves every event stream bit-identical to
+a fault-free execution.
+
+Conventions
+-----------
+* all times and durations are **seconds** of simulated time;
+* all fault targets are MPI **rank** numbers (block placement:
+  ``rank = node * ppn + core``), never node indices;
+* the model is immutable and hashable-by-value, so it can participate
+  in sweep cache keys.
+
+Crash detection is not instantaneous: survivors learn of a death only
+``detection_latency`` seconds after it happens (the failure-detector
+timeout), and a rank polling a lock held by a dead owner waits one
+``lease_timeout`` before breaking the lease.
+
+The optional :meth:`FaultModel.random_crashes` constructor draws a
+seeded random crash schedule — the fault-model analogue of the noise
+model's seeded perturbations — while keeping at least one survivor
+per node.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CrashStop",
+    "FailSlow",
+    "TransientStall",
+    "FaultModel",
+    "NO_FAULTS",
+]
+
+
+@dataclass(frozen=True)
+class CrashStop:
+    """Kill ``rank`` at simulated ``time`` (seconds): it stops forever."""
+
+    rank: int
+    time: float
+
+    def describe(self) -> str:
+        """The CLI spec token for this event (``crash:r@t``)."""
+        return f"crash:{self.rank}@{self.time:g}"
+
+
+@dataclass(frozen=True)
+class FailSlow:
+    """From ``time`` (seconds) on, ``rank`` computes at ``factor`` x speed.
+
+    ``factor`` is a speed multiplier in (0, 1]: ``0.5`` halves the
+    rank's effective core speed.  Multiple events targeting the same
+    rank compound multiplicatively.
+    """
+
+    rank: int
+    time: float
+    factor: float
+
+    def describe(self) -> str:
+        """The CLI spec token for this event (``slow:r@t:f``)."""
+        return f"slow:{self.rank}@{self.time:g}:{self.factor:g}"
+
+
+@dataclass(frozen=True)
+class TransientStall:
+    """``rank`` freezes for ``duration`` seconds starting at ``time``.
+
+    Models a transient hiccup (page fault storm, OS jitter burst): the
+    stall inflates the first execution that observes it, then clears.
+    """
+
+    rank: int
+    time: float
+    duration: float
+
+    def describe(self) -> str:
+        """The CLI spec token for this event (``stall:r@t:d``)."""
+        return f"stall:{self.rank}@{self.time:g}:{self.duration:g}"
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """An immutable schedule of injected failures (zero-default).
+
+    ``detection_latency`` is the failure-detector timeout in seconds:
+    the delay between a rank dying and survivors acting on its death
+    (reclaiming its chunks, failing over its windows).
+    ``lease_timeout`` is the extra wait, in seconds, a lock poller
+    spends confirming a dead owner before breaking the lease.
+    """
+
+    crashes: Tuple[CrashStop, ...] = ()
+    slowdowns: Tuple[FailSlow, ...] = ()
+    stalls: Tuple[TransientStall, ...] = ()
+    detection_latency: float = 200e-6
+    lease_timeout: float = 120e-6
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "slowdowns", tuple(self.slowdowns))
+        object.__setattr__(self, "stalls", tuple(self.stalls))
+        for crash in self.crashes:
+            if crash.time < 0.0:
+                raise ValueError(f"crash time must be >= 0, got {crash.time}")
+        for slow in self.slowdowns:
+            if not 0.0 < slow.factor <= 1.0:
+                raise ValueError(
+                    f"fail-slow factor must be in (0, 1], got {slow.factor}"
+                )
+            if slow.time < 0.0:
+                raise ValueError(f"fail-slow time must be >= 0, got {slow.time}")
+        for stall in self.stalls:
+            if stall.duration < 0.0 or stall.time < 0.0:
+                raise ValueError(
+                    f"stall time/duration must be >= 0, got {stall}"
+                )
+        if self.detection_latency < 0.0 or self.lease_timeout < 0.0:
+            raise ValueError("detection_latency/lease_timeout must be >= 0")
+        seen = set()
+        for crash in self.crashes:
+            if crash.rank in seen:
+                raise ValueError(f"rank {crash.rank} crashes more than once")
+            seen.add(crash.rank)
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True when the model injects at least one fault event."""
+        return bool(self.crashes or self.slowdowns or self.stalls)
+
+    @property
+    def crashed_ranks(self) -> Tuple[int, ...]:
+        """Ranks killed by this schedule, in crash-time order."""
+        return tuple(c.rank for c in self.crash_timeline())
+
+    def crash_timeline(self) -> Tuple[CrashStop, ...]:
+        """Crash events sorted by (time, rank) — the injection order."""
+        return tuple(sorted(self.crashes, key=lambda c: (c.time, c.rank)))
+
+    def speed_factor(self, rank: int, time: float) -> float:
+        """Compound fail-slow speed multiplier for ``rank`` at ``time``."""
+        factor = 1.0
+        for slow in self.slowdowns:
+            if slow.rank == rank and slow.time <= time:
+                factor *= slow.factor
+        return factor
+
+    def stalls_of(self, rank: int) -> List[TransientStall]:
+        """Stall events targeting ``rank``, sorted by onset time."""
+        return sorted(
+            (s for s in self.stalls if s.rank == rank),
+            key=lambda s: (s.time, s.duration),
+        )
+
+    def validate(self, world_size: int) -> None:
+        """Raise ``ValueError`` if any event targets a rank outside
+        ``[0, world_size)``."""
+        for event in (*self.crashes, *self.slowdowns, *self.stalls):
+            if not 0 <= event.rank < world_size:
+                raise ValueError(
+                    f"fault targets rank {event.rank}, but the world has "
+                    f"only ranks 0..{world_size - 1}"
+                )
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Round-trippable CLI spec string (``parse(describe())`` is
+        equivalent to the model, knobs aside)."""
+        events = [
+            *self.crash_timeline(),
+            *sorted(self.slowdowns, key=lambda s: (s.time, s.rank)),
+            *sorted(self.stalls, key=lambda s: (s.time, s.rank)),
+        ]
+        return ",".join(event.describe() for event in events) or "none"
+
+    def signature(self) -> Optional[Dict[str, Any]]:
+        """Cache-key payload: ``None`` when inactive (so an empty model
+        keys identically to ``faults=None``), else a plain dict."""
+        if not self.active:
+            return None
+        return dataclasses.asdict(self)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(
+        cls,
+        spec: str,
+        detection_latency: float = 200e-6,
+        lease_timeout: float = 120e-6,
+    ) -> "FaultModel":
+        """Parse a CLI fault spec.
+
+        The spec is a comma-separated list of events::
+
+            crash:R@T        kill rank R at time T seconds
+            slow:R@T:F       rank R runs at F x speed from time T
+            stall:R@T:D      rank R freezes for D seconds at time T
+
+        e.g. ``crash:3@0.05,slow:1@0.02:0.5``.  ``"none"`` or the
+        empty string yields the inactive model.
+        """
+        crashes: List[CrashStop] = []
+        slowdowns: List[FailSlow] = []
+        stalls: List[TransientStall] = []
+        text = spec.strip()
+        if text and text.lower() != "none":
+            for token in text.split(","):
+                token = token.strip()
+                if not token:
+                    continue
+                try:
+                    kind, _, rest = token.partition(":")
+                    rank_text, _, tail = rest.partition("@")
+                    rank = int(rank_text)
+                    if kind == "crash":
+                        crashes.append(CrashStop(rank, float(tail)))
+                    elif kind == "slow":
+                        time_text, _, factor_text = tail.partition(":")
+                        slowdowns.append(
+                            FailSlow(rank, float(time_text), float(factor_text))
+                        )
+                    elif kind == "stall":
+                        time_text, _, dur_text = tail.partition(":")
+                        stalls.append(
+                            TransientStall(rank, float(time_text), float(dur_text))
+                        )
+                    else:
+                        raise ValueError(f"unknown fault kind {kind!r}")
+                except (ValueError, TypeError) as exc:
+                    raise ValueError(
+                        f"bad fault token {token!r} (expected crash:R@T, "
+                        f"slow:R@T:F or stall:R@T:D): {exc}"
+                    ) from exc
+        return cls(
+            crashes=tuple(crashes),
+            slowdowns=tuple(slowdowns),
+            stalls=tuple(stalls),
+            detection_latency=detection_latency,
+            lease_timeout=lease_timeout,
+        )
+
+    @classmethod
+    def random_crashes(
+        cls,
+        n_crashes: int,
+        n_nodes: int,
+        ppn: int,
+        t_window: Tuple[float, float],
+        seed: int = 0,
+        detection_latency: float = 200e-6,
+        lease_timeout: float = 120e-6,
+    ) -> "FaultModel":
+        """Draw a seeded random crash-stop schedule.
+
+        Picks ``n_crashes`` distinct victim ranks uniformly, capped at
+        ``ppn - 1`` crashes per node so every node keeps at least one
+        survivor (the hierarchy's refill trees stay serviceable), with
+        crash times uniform over ``t_window`` seconds.  The same
+        ``seed`` always yields the same schedule.
+        """
+        if ppn < 2 and n_crashes > 0:
+            raise ValueError(
+                "random_crashes needs ppn >= 2 to keep a survivor per node"
+            )
+        rng = np.random.default_rng(
+            np.random.SeedSequence(int(seed), spawn_key=(0xFA117,))
+        )
+        per_node: Dict[int, int] = {}
+        victims: List[int] = []
+        candidates = list(range(n_nodes * ppn))
+        rng.shuffle(candidates)
+        for rank in candidates:
+            if len(victims) >= n_crashes:
+                break
+            node = rank // ppn
+            if per_node.get(node, 0) >= ppn - 1:
+                continue
+            per_node[node] = per_node.get(node, 0) + 1
+            victims.append(rank)
+        if len(victims) < n_crashes:
+            raise ValueError(
+                f"cannot place {n_crashes} crashes on {n_nodes}x{ppn} ranks "
+                f"with one survivor per node"
+            )
+        lo, hi = t_window
+        times = sorted(float(t) for t in rng.uniform(lo, hi, size=len(victims)))
+        return cls(
+            crashes=tuple(
+                CrashStop(rank, time) for rank, time in zip(sorted(victims), times)
+            ),
+            detection_latency=detection_latency,
+            lease_timeout=lease_timeout,
+        )
+
+
+#: the canonical inactive model (shared, immutable)
+NO_FAULTS = FaultModel()

@@ -626,6 +626,243 @@ def run_placement_variant(
     return result
 
 
+# ---------------------------------------------------------------------------
+# fault sweep: makespan degradation vs failure count (PR 6 extension)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultVariantSpec:
+    """One fault-resilience comparison: inter techniques swept under
+    growing seeded crash-stop schedules on a fixed cluster.
+
+    For each technique in ``inters`` and each count in ``crash_counts``
+    the figure's application is simulated with
+    :meth:`repro.cluster.faults.FaultModel.random_crashes` victims
+    (crash times uniform over ``t_window`` seconds, at most ``ppn - 1``
+    victims per node so recovery stays possible); count 0 is the
+    fault-free baseline the degradation is measured against.
+    """
+
+    figure_id: str
+    paper_ref: str
+    app: str
+    inters: Tuple[str, ...] = ("SS", "FAC2", "GSS", "ADAPT")
+    intra: str = "SS"
+    n_nodes: int = 4
+    ppn: int = 8
+    crash_counts: Tuple[int, ...] = (0, 1, 2, 4)
+    t_window: Tuple[float, float] = (5e-4, 5e-3)
+    fault_seed: int = 0
+
+    @property
+    def title(self) -> str:
+        """Human-readable header for the report."""
+        return (
+            f"{self.paper_ref}: {self.app} under crash-stop failures — "
+            f"{' vs '.join(self.inters)} inter-node scheduling "
+            f"({self.n_nodes} nodes x {self.ppn} workers, crashes in "
+            f"[{self.t_window[0]:g}s, {self.t_window[1]:g}s])"
+        )
+
+
+def fault_variant(
+    figure_id: str,
+    inters: Tuple[str, ...] = ("SS", "FAC2", "GSS", "ADAPT"),
+    intra: str = "SS",
+    n_nodes: int = 4,
+    ppn: int = 8,
+    crash_counts: Tuple[int, ...] = (0, 1, 2, 4),
+    t_window: Tuple[float, float] = (5e-4, 5e-3),
+    fault_seed: int = 0,
+) -> FaultVariantSpec:
+    """Derive the fault-resilience comparison of a paper figure.
+
+    Same application as the original figure, but on a fixed cluster with
+    the inter technique on the panels and the injected failure count on
+    the x-axis.  Not part of the paper — the failure-aware scheduling
+    extension sweep::
+
+        run_fault_variant(fault_variant("fig5a"))
+    """
+    base = FIGURES[figure_id]
+    return FaultVariantSpec(
+        figure_id=f"{base.figure_id}-faults",
+        paper_ref=f"{base.paper_ref} (fault-injection extension)",
+        app=base.app,
+        inters=inters,
+        intra=intra,
+        n_nodes=n_nodes,
+        ppn=ppn,
+        crash_counts=crash_counts,
+        t_window=t_window,
+        fault_seed=fault_seed,
+    )
+
+
+@dataclass(frozen=True)
+class FaultCell:
+    """One fault-sweep point: a technique under one crash schedule."""
+
+    inter: str
+    n_crashes: int
+    time: float
+    n_failures: int
+    n_reexecuted: int
+    n_failovers: int
+    n_leases_broken: int
+
+
+@dataclass
+class FaultVariantResult:
+    """Outcome of one fault-resilience comparison sweep."""
+
+    spec: FaultVariantSpec
+    cells: List[FaultCell]
+    checks: List[ShapeCheck] = field(default_factory=list)
+
+    def series(self, inter: str) -> Dict[int, float]:
+        """crash count -> makespan for one technique panel."""
+        return {
+            c.n_crashes: c.time
+            for c in sorted(self.cells, key=lambda c: c.n_crashes)
+            if c.inter == inter
+        }
+
+    def degradation(self, inter: str, n_crashes: int) -> float:
+        """Relative makespan increase of a faulted run over fault-free."""
+        times = self.series(inter)
+        baseline = times.get(0)
+        if not baseline or n_crashes not in times:
+            return 0.0
+        return times[n_crashes] / baseline - 1.0
+
+    def run_checks(self) -> List[ShapeCheck]:
+        """Every faulted run must complete on the survivors with every
+        injected crash observed, re-execute stranded work, and cost no
+        less than the fault-free baseline (within noise)."""
+        checks: List[ShapeCheck] = []
+        worst = max(self.spec.crash_counts)
+        for inter in self.spec.inters:
+            mine = [c for c in self.cells if c.inter == inter]
+            observed = all(c.n_failures >= c.n_crashes for c in mine)
+            checks.append(
+                ShapeCheck(
+                    f"{inter}+{self.spec.intra}: every injected crash "
+                    "observed, run completed on survivors",
+                    passed=observed and len(mine) == len(self.spec.crash_counts),
+                    detail=f"{len(mine)} runs",
+                )
+            )
+            degradation = self.degradation(inter, worst)
+            checks.append(
+                ShapeCheck(
+                    f"{inter}+{self.spec.intra}: {worst} crashes do not "
+                    "beat the fault-free baseline",
+                    passed=degradation >= -0.01,
+                    detail=f"degradation {degradation:+.1%}",
+                )
+            )
+        reexecuted = sum(c.n_reexecuted for c in self.cells)
+        checks.append(
+            ShapeCheck(
+                "stranded chunks were re-executed somewhere in the sweep",
+                passed=worst == 0 or reexecuted > 0,
+                detail=f"{reexecuted} range(s) re-executed",
+            )
+        )
+        self.checks = checks
+        return checks
+
+    def to_text(self) -> str:
+        """Paper-style report: makespan vs failure count per technique."""
+        spec = self.spec
+        lines = [spec.title, "=" * len(spec.title)]
+        header = (
+            f"{'technique':>12} | {'crashes':>7} | {'T':>10} | "
+            f"{'degr.':>7} | {'re-exec':>7} | {'failovers':>9} | {'leases':>6}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for inter in spec.inters:
+            for cell in sorted(
+                (c for c in self.cells if c.inter == inter),
+                key=lambda c: c.n_crashes,
+            ):
+                lines.append(
+                    f"{inter + '+' + spec.intra:>12} | {cell.n_crashes:>7} |"
+                    f" {cell.time:>9.4g}s |"
+                    f" {self.degradation(inter, cell.n_crashes):>+6.1%} |"
+                    f" {cell.n_reexecuted:>7} | {cell.n_failovers:>9} |"
+                    f" {cell.n_leases_broken:>6}"
+                )
+        lines.append("\nshape checks (fault-injection extension):")
+        for check in self.checks or self.run_checks():
+            lines.append(check.line())
+        return "\n".join(lines)
+
+    @property
+    def all_passed(self) -> bool:
+        """Whether every fault-sweep shape check passed."""
+        return all(c.passed for c in (self.checks or self.run_checks()))
+
+
+def run_fault_variant(
+    spec: "FaultVariantSpec | str",
+    scale: Optional[str] = None,
+    seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FaultVariantResult:
+    """Sweep one fault-resilience comparison (a :func:`fault_variant`
+    spec or a figure id to derive it from) and evaluate its checks."""
+    from repro.cluster.faults import FaultModel
+
+    if isinstance(spec, str):
+        spec = fault_variant(spec)
+    workload = figure_workload(spec.app, scale or scale_from_env())
+    cluster = minihpc(spec.n_nodes, spec.ppn)
+    cells: List[FaultCell] = []
+    for inter in spec.inters:
+        for n_crashes in spec.crash_counts:
+            faults = (
+                FaultModel.random_crashes(
+                    n_crashes, spec.n_nodes, spec.ppn, spec.t_window,
+                    seed=spec.fault_seed,
+                )
+                if n_crashes
+                else None
+            )
+            result = run_hierarchical(
+                workload,
+                cluster,
+                inter=inter,
+                intra=spec.intra,
+                approach="mpi+mpi",
+                ppn=spec.ppn,
+                seed=seed,
+                collect_chunks=False,
+                faults=faults,
+            )
+            cell = FaultCell(
+                inter=inter,
+                n_crashes=n_crashes,
+                time=result.parallel_time,
+                n_failures=int(result.counters.get("failures_injected", 0)),
+                n_reexecuted=int(result.counters.get("chunks_reexecuted", 0)),
+                n_failovers=int(result.counters.get("failovers", 0)),
+                n_leases_broken=int(
+                    result.counters.get("lock_leases_broken", 0)
+                ),
+            )
+            cells.append(cell)
+            if progress is not None:
+                progress(
+                    f"  {inter}+{spec.intra:<7} crashes={n_crashes:<2} "
+                    f"T={cell.time:.4g}s re-exec={cell.n_reexecuted}"
+                )
+    result = FaultVariantResult(spec=spec, cells=cells)
+    result.run_checks()
+    return result
+
+
 def run_sync_illustration(scale: str = "quick", seed: int = 0) -> str:
     """Regenerate Figures 2 and 3: the implicit-synchronisation Gantt
     charts for MPI+OpenMP vs MPI+MPI on one node-pair slice."""

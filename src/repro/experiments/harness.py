@@ -47,6 +47,10 @@ class Cell:
     #: report it, and under the distance-blind default costs the
     #: shared-window share is 0)
     placement_cost: float = 0.0
+    #: faults injected into this cell's simulation (0 for fault-free
+    #: sweeps) and work ranges re-executed by survivors after crashes
+    n_failures: int = 0
+    n_reexecuted: int = 0
 
     @property
     def label(self) -> str:
@@ -84,12 +88,15 @@ def simulate_cell(
     seed: int,
     costs: Optional[CostModel] = None,
     placement: Union[str, Mapping[Any, int]] = "leader",
+    faults: Optional[Any] = None,
 ) -> Cell:
     """Run one cell's simulation (shared by serial path and pool workers).
 
-    ``costs`` overrides the cost model (None = package default) and
-    ``placement`` the window-home policy — both default to the
-    historical behaviour, so pre-existing sweeps are untouched.
+    ``costs`` overrides the cost model (None = package default),
+    ``placement`` the window-home policy, and ``faults`` the fault
+    schedule (a :class:`repro.cluster.faults.FaultModel` or None) — all
+    default to the historical behaviour, so pre-existing sweeps are
+    untouched.
     """
     t0 = time.perf_counter()
     result: RunResult = run_hierarchical(
@@ -103,6 +110,7 @@ def simulate_cell(
         collect_chunks=False,
         costs=costs,
         placement=placement,
+        faults=faults,
     )
     wall = time.perf_counter() - t0
     return Cell(
@@ -117,6 +125,8 @@ def simulate_cell(
         n_events=result.n_events,
         wall_seconds=wall,
         placement_cost=float(result.counters.get("placement_cost_s", 0.0)),
+        n_failures=int(result.counters.get("failures_injected", 0)),
+        n_reexecuted=int(result.counters.get("chunks_reexecuted", 0)),
     )
 
 
@@ -153,6 +163,9 @@ class GridRunner:
     #: window-placement policy for every cell ("leader" | "optimized" |
     #: explicit map) — mpi+mpi cells only; see repro.cluster.placement_opt
     placement: Union[str, Mapping[Any, int]] = "leader"
+    #: fault schedule injected into every cell (None = fault-free);
+    #: requires failure-aware approaches — see repro.cluster.faults
+    faults: Optional[Any] = None
     #: filled by :meth:`sweep`: {"cells", "simulated", "cache_hits"}
     last_sweep_stats: Dict[str, int] = field(default_factory=dict, repr=False)
 
@@ -173,6 +186,7 @@ class GridRunner:
             self.seed,
             costs=self.costs,
             placement=self.placement,
+            faults=self.faults,
         )
         self._report(cell)
         return cell
@@ -222,6 +236,7 @@ class GridRunner:
                 keys[index] = cell_key(
                     fingerprint, cluster, *spec, self.ppn, self.seed,
                     costs=self.costs, placement=self.placement,
+                    faults=self.faults,
                 )
                 cells[index] = cache.get(keys[index])
                 if cells[index] is not None:
@@ -248,6 +263,7 @@ class GridRunner:
             on_result=on_result,
             costs=self.costs,
             placement=self.placement,
+            faults=self.faults,
         )
 
         self.last_sweep_stats = {

@@ -31,7 +31,9 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict
 from typing import (
     TYPE_CHECKING,
@@ -51,6 +53,7 @@ from repro.cluster.noise import MILD_NOISE
 from repro.workloads.base import Workload
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.faults import FaultModel
     from repro.experiments.harness import Cell
 
 #: (approach, inter, intra, nodes) — one grid cell to simulate
@@ -59,11 +62,11 @@ CellSpec = Tuple[str, str, str, int]
 #: a window-placement argument as accepted by ``simulate_cell``
 PlacementArg = Union[str, Mapping]
 
-# v3: cluster signatures carry the NUMA tier (previously omitted —
-# four-level sweeps over different numa_per_socket would have collided),
-# cells carry placement_cost, and keys carry the per-sweep cost-model
-# override plus the window-placement policy
-CACHE_FORMAT_VERSION = 3
+# v4: cells carry fault counters (n_failures / n_reexecuted) and keys
+# carry the fault-model signature, so a faulted sweep can never collide
+# with (or be served from) a fault-free one.  v3 added NUMA-tier cluster
+# signatures, placement_cost, and the cost-model/placement key fields.
+CACHE_FORMAT_VERSION = 4
 
 
 # ---------------------------------------------------------------------------
@@ -124,12 +127,15 @@ def cell_key(
     seed: int,
     costs: Optional[CostModel] = None,
     placement: PlacementArg = "leader",
+    faults: Optional["FaultModel"] = None,
 ) -> str:
     """Content-addressed cache key for one grid cell.
 
     ``costs`` is the sweep's cost-model *override* (None = the package
     default, whose identity is already folded in via
-    :func:`model_signature`); ``placement`` the window-home policy.
+    :func:`model_signature`); ``placement`` the window-home policy;
+    ``faults`` the fault schedule (an *inactive* model keys identically
+    to ``None`` — both produce the fault-free event stream).
     """
     payload = json.dumps(
         {
@@ -145,6 +151,7 @@ def cell_key(
             "seed": seed,
             "costs": None if costs is None else asdict(costs),
             "placement": placement_signature(placement),
+            "faults": None if faults is None else faults.signature(),
         },
         sort_keys=True,
         separators=(",", ":"),
@@ -164,9 +171,21 @@ class CellCache:
         os.makedirs(root, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: corrupt or stale-format files moved aside (never re-read)
+        self.quarantined = 0
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, f"{key}.json")
+
+    def _quarantine(self, key: str) -> None:
+        """Move a bad cache file aside so it is diagnosable but can
+        never satisfy (or repeatedly fail) a future lookup."""
+        path = self._path(key)
+        try:
+            os.replace(path, path + ".corrupt")
+            self.quarantined += 1
+        except OSError:
+            pass  # already gone (racing sweep) — nothing to preserve
 
     def get(self, key: str) -> Optional["Cell"]:
         from repro.experiments.harness import Cell
@@ -174,14 +193,30 @@ class CellCache:
         try:
             with open(self._path(key), "r", encoding="utf-8") as fh:
                 payload = json.load(fh)
-        except (FileNotFoundError, json.JSONDecodeError):
+        except FileNotFoundError:
             self.misses += 1
             return None
-        if payload.get("version") != CACHE_FORMAT_VERSION:
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            # truncated write, disk hiccup, or hand-edited garbage
+            self._quarantine(key)
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict) or payload.get("version") != CACHE_FORMAT_VERSION:
+            # stale format: quarantine rather than delete, so a version
+            # rollback can still inspect (but never silently reuse) it
+            self._quarantine(key)
+            self.misses += 1
+            return None
+        try:
+            return_value = Cell.from_dict(payload["cell"])
+        except (KeyError, TypeError):
+            # schema drift within the same version number (should not
+            # happen, but a corrupt payload must not kill the sweep)
+            self._quarantine(key)
             self.misses += 1
             return None
         self.hits += 1
-        return Cell.from_dict(payload["cell"])
+        return return_value
 
     def put(self, key: str, cell: "Cell") -> None:
         # Atomic publish: concurrent writers (parallel sweeps sharing a
@@ -218,7 +253,7 @@ def _strip_executor(workload: Workload) -> Workload:
 
 # Per-worker context, installed once by the pool initializer so the cost
 # vector crosses the process boundary a single time per worker.
-_WORKER_CTX: Optional[Tuple[Workload, int, int, Optional[CostModel], PlacementArg]] = None
+_WORKER_CTX: Optional[Tuple] = None
 
 
 def _init_worker(
@@ -227,19 +262,20 @@ def _init_worker(
     seed: int,
     costs: Optional[CostModel] = None,
     placement: PlacementArg = "leader",
+    faults: Optional["FaultModel"] = None,
 ) -> None:
     global _WORKER_CTX
-    _WORKER_CTX = (workload, ppn, seed, costs, placement)
+    _WORKER_CTX = (workload, ppn, seed, costs, placement, faults)
 
 
 def _run_cell_in_worker(task: Tuple[CellSpec, ClusterSpec]) -> "Cell":
     from repro.experiments.harness import simulate_cell
 
     (approach, inter, intra, nodes), cluster = task
-    workload, ppn, seed, costs, placement = _WORKER_CTX
+    workload, ppn, seed, costs, placement, faults = _WORKER_CTX
     return simulate_cell(
         workload, cluster, approach, inter, intra, nodes, ppn, seed,
-        costs=costs, placement=placement,
+        costs=costs, placement=placement, faults=faults,
     )
 
 
@@ -253,6 +289,9 @@ def run_cells(
     on_result: Optional[Callable[[int, "Cell"], None]] = None,
     costs: Optional[CostModel] = None,
     placement: PlacementArg = "leader",
+    faults: Optional["FaultModel"] = None,
+    retries: int = 2,
+    retry_backoff: float = 0.1,
 ) -> List["Cell"]:
     """Simulate ``specs`` (with matching ``clusters``) on ``jobs`` processes.
 
@@ -260,37 +299,76 @@ def run_cells(
     as each cell completes (completion order under a pool) so callers
     can stream progress.  ``jobs`` is capped at the number of cells;
     ``jobs <= 1`` falls back to inline execution.  ``costs``/
-    ``placement`` apply to every cell (see
+    ``placement``/``faults`` apply to every cell (see
     :func:`repro.experiments.harness.simulate_cell`).
+
+    A crashed or OOM-killed pool worker does not abort the sweep: the
+    affected cells are re-run *inline* (in this process, where a
+    deterministic simulation error would reproduce and raise honestly),
+    up to ``retries`` rounds with exponential backoff starting at
+    ``retry_backoff`` seconds.  Only an error that also fails inline
+    propagates to the caller.
     """
     from repro.experiments.harness import simulate_cell
 
+    def run_inline(index: int) -> "Cell":
+        spec, cluster = specs[index], clusters[index]
+        cell = simulate_cell(
+            workload, cluster, *spec, ppn, seed,
+            costs=costs, placement=placement, faults=faults,
+        )
+        if on_result is not None:
+            on_result(index, cell)
+        return cell
+
     if jobs <= 1 or len(specs) <= 1:
-        cells = []
-        for index, (spec, cluster) in enumerate(zip(specs, clusters)):
-            cell = simulate_cell(
-                workload, cluster, *spec, ppn, seed,
-                costs=costs, placement=placement,
-            )
-            if on_result is not None:
-                on_result(index, cell)
-            cells.append(cell)
-        return cells
+        return [run_inline(index) for index in range(len(specs))]
+
     shippable = _strip_executor(workload)
     tasks = list(zip(specs, clusters))
     results: List[Optional["Cell"]] = [None] * len(tasks)
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(specs)),
-        initializer=_init_worker,
-        initargs=(shippable, ppn, seed, costs, placement),
-    ) as pool:
-        futures = {
-            pool.submit(_run_cell_in_worker, task): index
-            for index, task in enumerate(tasks)
-        }
-        for future in as_completed(futures):
-            index = futures[future]
-            results[index] = future.result()
-            if on_result is not None:
-                on_result(index, results[index])
+    pool_errors: List[BaseException] = []
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(specs)),
+            initializer=_init_worker,
+            initargs=(shippable, ppn, seed, costs, placement, faults),
+        ) as pool:
+            futures = {
+                pool.submit(_run_cell_in_worker, task): index
+                for index, task in enumerate(tasks)
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool as error:
+                    # the pool is dead; every unfinished future will
+                    # raise the same thing — stop draining and fall
+                    # through to the inline retry
+                    pool_errors.append(error)
+                    break
+                except BaseException as error:  # worker raised or died
+                    pool_errors.append(error)
+                    continue
+                if on_result is not None:
+                    on_result(index, results[index])
+    except BrokenProcessPool as error:  # raised from pool shutdown
+        pool_errors.append(error)
+
+    survivors = [i for i, cell in enumerate(results) if cell is None]
+    for attempt in range(retries):
+        if not survivors:
+            break
+        if pool_errors:
+            time.sleep(retry_backoff * (2 ** attempt))
+        still_missing = []
+        for index in survivors:
+            try:
+                results[index] = run_inline(index)
+            except Exception:
+                if attempt + 1 >= retries:
+                    raise
+                still_missing.append(index)
+        survivors = still_missing
     return results

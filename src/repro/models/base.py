@@ -17,6 +17,7 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.cluster.costs import CostModel, DEFAULT_COSTS
+from repro.cluster.faults import FaultModel
 from repro.cluster.machine import ClusterSpec
 from repro.cluster.noise import MILD_NOISE, NoiseModel
 from repro.core.chunking import Chunk, verify_schedule
@@ -24,8 +25,8 @@ from repro.core.hierarchy import HierarchicalSpec
 from repro.core.metrics import LoadMetrics, WorkerStats, compute_metrics
 from repro.core.technique_base import ChunkCalculator
 from repro.core.trace import Trace
-from repro.sim.engine import Simulator
-from repro.sim.primitives import Overhead
+from repro.sim.engine import Simulator, drain
+from repro.sim.primitives import Overhead, Timeout
 from repro.smpi.rma import Window
 from repro.smpi.world import MpiWorld, RankCtx
 from repro.workloads.base import Workload
@@ -82,6 +83,10 @@ class ExecutionModel:
     #: ``"leader"`` default and raise otherwise, so a requested
     #: optimisation can never be silently ignored
     supports_placement: bool = False
+    #: whether the model implements failure-aware scheduling (claims
+    #: ledger + recovery); models that leave it False reject an *active*
+    #: fault model instead of silently losing iterations
+    supports_faults: bool = False
 
     def inter_pe_count(self, cluster: ClusterSpec, ppn: int) -> int:
         """Number of PEs at the inter (first) scheduling level.
@@ -106,6 +111,8 @@ class ExecutionModel:
         noise: Optional[NoiseModel] = None,
         verify: bool = True,
         placement: Any = "leader",
+        faults: Optional[FaultModel] = None,
+        max_sim_time: Optional[float] = None,
     ) -> RunResult:
         """Simulate one loop execution; see :func:`repro.api.run_hierarchical`."""
         if (
@@ -115,6 +122,12 @@ class ExecutionModel:
             raise ValueError(
                 f"{self.name} places windows at tier leaders only; "
                 f"placement={placement!r} requires the mpi+mpi model"
+            )
+        if faults is not None and faults.active and not self.supports_faults:
+            raise ValueError(
+                f"{self.name} has no failure-aware scheduling path; an "
+                f"active fault model requires the mpi+mpi, flat-mpi or "
+                f"master-worker model"
             )
         run = _Run(
             model=self,
@@ -128,6 +141,8 @@ class ExecutionModel:
             costs=costs or DEFAULT_COSTS,
             noise=noise or MILD_NOISE,
             placement=placement,
+            faults=faults,
+            max_sim_time=max_sim_time,
         )
         self._execute(run)
         return run.finish(verify=verify)
@@ -153,6 +168,8 @@ class _Run:
         costs: CostModel,
         noise: NoiseModel,
         placement: Any = "leader",
+        faults: Optional[FaultModel] = None,
+        max_sim_time: Optional[float] = None,
     ):
         self.model = model
         self.workload = workload
@@ -163,6 +180,12 @@ class _Run:
         self.noise = noise
         #: window-placement knob ("leader" | "optimized" | explicit map)
         self.placement = placement
+        #: fault schedule (None, or an inactive model, keeps every code
+        #: path bit-identical to the fault-free engine)
+        self.faults = faults
+        self.faults_active = faults is not None and faults.active
+        #: engine watchdog deadline in simulated seconds (None = off)
+        self.max_sim_time = max_sim_time
         self.collect_chunks = collect_chunks
         self.sim = Simulator(seed=seed)
         self.trace: Optional[Trace] = Trace() if collect_trace else None
@@ -185,6 +208,36 @@ class _Run:
         self.worker_stats: List[WorkerStats] = []
         self.counters: Dict[str, Any] = {}
         self.executed_iterations = 0
+        # -- failure-aware scheduling state (inert when faults_active
+        # is False: nothing below is ever consulted) ------------------
+        #: claims ledger: rank -> list of in-flight (step, start, size)
+        #: ranges that rank has fetched/taken but not yet deposited or
+        #: executed.  Every transition in/out happens with no yield in
+        #: between, so a crash (which lands only at yields) always sees
+        #: a consistent ledger.
+        self.claims: Dict[int, List[Tuple[int, int, int]]] = {}
+        #: reclaimed ranges awaiting re-execution (flat protocols:
+        #: flat-mpi, depth-1 mpi+mpi, master-worker)
+        self.orphans: List[Tuple[int, int, int]] = []
+        #: ranks confirmed crash-stopped (filled by the injector)
+        self.dead_ranks: set = set()
+        self.fault_counters: Dict[str, int] = {
+            "failures_injected": 0,
+            "chunks_reexecuted": 0,
+            "failovers": 0,
+            "lock_leases_broken": 0,
+        }
+        if self.faults_active:
+            self.faults.validate(cluster.n_nodes * self.ppn)
+            self.fault_counters["failures_injected"] += len(
+                self.faults.slowdowns
+            ) + len(self.faults.stalls)
+            self._pending_stalls: Dict[int, list] = {
+                rank: self.faults.stalls_of(rank)
+                for rank in {s.rank for s in self.faults.stalls}
+            }
+        else:
+            self._pending_stalls = {}
 
     # -- timing helpers --------------------------------------------------
     def speed_of(self, node: int, core: int) -> float:
@@ -194,7 +247,40 @@ class _Run:
         """Simulated duration of iterations [start, start+size) on a core."""
         nominal = self.workload.block_cost(start, size)
         jitter = self.noise.chunk_jitter(self._jitter_rng)
-        return nominal * jitter / self.speed_of(node, core)
+        duration = nominal * jitter / self.speed_of(node, core)
+        if self.faults_active:
+            # Fault factors apply *after* the jitter draw so the RNG
+            # stream consumption (and thus every other rank's noise) is
+            # unchanged by the fault model.
+            rank = node * self.ppn + core
+            duration /= self.faults.speed_factor(rank, self.sim.now)
+            stalls = self._pending_stalls.get(rank)
+            if stalls:
+                # consume every stall overlapping this execution; adding
+                # the stall extends the chunk, which may swallow the
+                # next stall too
+                while stalls and stalls[0].time <= self.sim.now + duration:
+                    duration += stalls.pop(0).duration
+        return duration
+
+    # -- failure-aware bookkeeping ---------------------------------------
+    def claim(self, rank: int, step: int, start: int, size: int) -> None:
+        """Register an in-flight range owned by ``rank`` (no-op unless
+        faults are active; callers guarantee no yield since the range
+        was fetched/taken)."""
+        if self.faults_active and size > 0:
+            self.claims.setdefault(rank, []).append((step, start, size))
+
+    def release_claim(self, rank: int, step: int, start: int, size: int) -> None:
+        """Drop a claim once its range was deposited or executed."""
+        if not self.faults_active:
+            return
+        ranges = self.claims.get(rank)
+        if ranges:
+            try:
+                ranges.remove((step, start, size))
+            except ValueError:
+                pass
 
     # -- recording --------------------------------------------------------
     def record_chunk(self, step: int, start: int, size: int, pe: int) -> None:
@@ -254,6 +340,9 @@ class _Run:
             )
         if verify and self.collect_chunks and self.subchunks:
             verify_schedule(self.subchunks, self.workload.n)
+        if self.faults is not None:
+            self.counters.update(self.fault_counters)
+            self.counters["dead_ranks"] = sorted(self.dead_ranks)
         metrics = compute_metrics(self.worker_stats)
         if self.collect_chunks:
             if self.n_sched_levels <= 1:
@@ -311,6 +400,7 @@ class GlobalQueue:
         n: int,
         host_rank: int = 0,
         pinned: bool = False,
+        run: "Optional[_Run]" = None,
     ):
         self.world = world
         self.calc = calc
@@ -320,11 +410,16 @@ class GlobalQueue:
             host_rank, {"step": 0, "scheduled": 0}
         )
         self._pinned_taken: Dict[int, bool] = {}
+        #: owning run — enables the claims ledger under active faults;
+        #: None (or an inactive fault model) leaves every path untouched
+        self._run = run
 
     def next_chunk(self, ctx: RankCtx, pe: int):
         """Obtain the next chunk for ``pe``; returns (step, start, size)
         with size == 0 when the loop is exhausted (generator)."""
         chunk_calc_cost = self.world.costs.chunk_calc
+        run = self._run
+        claims_on = run is not None and run.faults_active
         if self.pinned:
             yield Overhead(chunk_calc_cost)
             if self._pinned_taken.get(pe):
@@ -332,9 +427,29 @@ class GlobalQueue:
             self._pinned_taken[pe] = True
             size = self.calc.size_at(pe)
             start = self.calc.start_at(pe)
-            return (pe, start, min(size, self.n - start))
+            size = min(size, self.n - start)
+            if claims_on:
+                run.claim(ctx.rank, pe, start, size)
+            return (pe, start, size)
         if self.calc.deterministic:
-            step = yield from self.window.fetch_and_op(ctx, "step", 1)
+            if claims_on:
+                # The range of step S is fixed the instant the atomic
+                # commits; claim it *inside* the atomic's critical
+                # section (no yield in between) so a crash during the
+                # fetch's return latency cannot strand the range.
+                calc = self.calc
+                rank = ctx.rank
+
+                def committed(old: int) -> None:
+                    carved = calc.size_at(old)
+                    if carved > 0:
+                        run.claim(rank, old, calc.start_at(old), carved)
+
+                step = yield from self.window.fetch_and_op(
+                    ctx, "step", 1, on_commit=committed
+                )
+            else:
+                step = yield from self.window.fetch_and_op(ctx, "step", 1)
             yield Overhead(chunk_calc_cost)
             size = self.calc.size_at(step)
             if size <= 0:
@@ -347,6 +462,73 @@ class GlobalQueue:
         size = self.calc.size_at(step, pe=pe)
         if size <= 0:
             return (step, self.n, 0)
-        start = yield from self.window.fetch_and_op(ctx, "scheduled", size)
+        if claims_on:
+            # Same reasoning as above: the [old, old+size) range is
+            # reserved the instant the ``scheduled`` atomic commits.
+            rank, n_total = ctx.rank, self.n
+
+            def reserved(old: int) -> None:
+                run.claim(rank, step, old, max(0, min(size, n_total - old)))
+
+            start = yield from self.window.fetch_and_op(
+                ctx, "scheduled", size, on_commit=reserved
+            )
+        else:
+            start = yield from self.window.fetch_and_op(ctx, "scheduled", size)
         size = max(0, min(size, self.n - start))
         return (step, start, size)
+
+
+# ---------------------------------------------------------------------------
+# fault injection scaffolding (shared by the failure-aware models)
+# ---------------------------------------------------------------------------
+
+
+def _fault_injector(run: _Run, world: MpiWorld, recover):
+    """Engine process that executes the fault schedule (generator).
+
+    Crash-stop events become first-class simulation events: at each
+    crash time the victim's process is killed (its generator is closed,
+    so in-flight atomics complete and the rank goes silent), and one
+    ``detection_latency`` later the model's ``recover(rank)`` generator
+    runs — breaking leases, failing over windows and re-depositing the
+    victim's claimed ranges.  Fail-slow and stall events need no
+    injector action (they are consulted passively by
+    :meth:`_Run.exec_time`).
+    """
+    faults = run.faults
+    timeline = []
+    for crash in faults.crash_timeline():
+        timeline.append((crash.time, 0, crash.rank))
+        timeline.append((crash.time + faults.detection_latency, 1, crash.rank))
+    timeline.sort(key=lambda event: (event[0], event[1], event[2]))
+    now = 0.0
+    for time, kind, rank in timeline:
+        if time > now:
+            yield Timeout(time - now)
+            now = time
+        if kind == 0:
+            process = world.contexts[rank].process
+            if process is not None and run.sim.kill(process):
+                run.dead_ranks.add(rank)
+                run.fault_counters["failures_injected"] += 1
+        elif rank in run.dead_ranks and recover is not None:
+            yield from recover(rank)
+
+
+def run_world(run: _Run, world: MpiWorld, main, recover=None, name_prefix="rank"):
+    """Launch rank mains, arm fault injection if active, and drain.
+
+    The fault-free path is exactly ``world.run`` — same call sequence,
+    same event stream.  With an active fault model the ranks are
+    launched first, then the injector process is spawned (so rank spawn
+    order — which defines execution order at t=0 — is unchanged), and
+    the drain tolerates crash-stopped processes (``kill`` marks them
+    not-alive).
+    """
+    if not run.faults_active:
+        return world.run(main, name_prefix, max_sim_time=run.max_sim_time)
+    processes = world.launch(main, name_prefix)
+    run.sim.spawn(_fault_injector(run, world, recover), name="fault-injector")
+    drain(run.sim, processes, max_sim_time=run.max_sim_time)
+    return processes

@@ -22,8 +22,9 @@ deeper levels of the stack are ignored.
 from __future__ import annotations
 
 from repro.core import trace as trace_mod
-from repro.models.base import ExecutionModel, _Run
+from repro.models.base import ExecutionModel, _Run, run_world
 from repro.sim.primitives import Compute, ComputeOnce, Overhead
+from repro.smpi.p2p import Message
 from repro.smpi.world import MpiWorld, RankCtx
 
 #: message tags
@@ -35,13 +36,26 @@ class MasterWorkerModel(ExecutionModel):
     """Classic two-sided master-worker self-scheduling."""
 
     name = "master-worker"
+    supports_faults = True
 
     def inter_pe_count(self, cluster, ppn: int) -> int:
         return cluster.n_nodes * ppn - 1  # rank 0 is the dedicated master
 
     def _execute(self, run: _Run) -> None:
         run.n_sched_levels = 1
-        world = MpiWorld(run.sim, run.cluster, ppn=run.ppn, costs=run.costs)
+        if run.faults_active and 0 in run.faults.crashed_ranks:
+            raise ValueError(
+                "master-worker cannot survive a crash of rank 0 (the "
+                "dedicated master is a single point of failure); crash a "
+                "worker rank instead, or use the mpi+mpi model"
+            )
+        world = MpiWorld(
+            run.sim,
+            run.cluster,
+            ppn=run.ppn,
+            costs=run.costs,
+            faults=run.faults if run.faults_active else None,
+        )
         n_workers = world.size - 1
         if n_workers < 1:
             raise ValueError("master-worker needs at least 2 ranks")
@@ -79,6 +93,68 @@ class MasterWorkerModel(ExecutionModel):
             chunk_counts[ctx.rank] = 0
             iter_counts[ctx.rank] = 0
 
+        def master_ft(ctx: RankCtx):
+            # Failure-aware master: requesters are parked in ``waiting``
+            # and served orphaned (reclaimed) ranges before fresh chunks;
+            # a worker is retired with ``None`` only once the whole
+            # iteration space is scheduled AND no range is still in
+            # flight (claimed or orphaned), so a late crash can always be
+            # re-served.  The fault injector announces each confirmed
+            # death with a ``"__dead__"`` request from the victim.
+            scheduled = 0
+            step = 0
+            done_sent = 0
+            n_live = n_workers
+            waiting = []
+            while done_sent < n_live:
+                source, payload = yield from ctx.recv_any(TAG_REQUEST)
+                if payload == "__dead__":
+                    n_live -= 1
+                    if source in waiting:
+                        waiting.remove(source)
+                else:
+                    waiting.append(source)
+                # reclaimed ranges first: no chunk calculation needed,
+                # and claiming before any yield keeps the ledger tight
+                while waiting and run.orphans:
+                    w = waiting.pop(0)
+                    if not world.rank_alive(w):
+                        continue
+                    assignment = run.orphans.pop(0)
+                    run.claim(w, *assignment)
+                    yield from ctx.send(w, TAG_ASSIGN, assignment)
+                while waiting and scheduled < n:
+                    w = waiting.pop(0)
+                    if not world.rank_alive(w):
+                        continue
+                    yield Overhead(run.costs.chunk_calc)
+                    if not world.rank_alive(w):
+                        # died during the calculation; the range was not
+                        # carved yet, so just drop the request
+                        continue
+                    size = calc.size_at(step, pe=(w - 1) % n_workers)
+                    size = max(1, min(size, n - scheduled))
+                    run.claim(w, step, scheduled, size)
+                    run.record_chunk(step, scheduled, size, pe=w)
+                    assignment = (step, scheduled, size)
+                    scheduled += size
+                    step += 1
+                    yield from ctx.send(w, TAG_ASSIGN, assignment)
+                if (
+                    scheduled >= n
+                    and not run.orphans
+                    and not any(run.claims.values())
+                ):
+                    while waiting:
+                        w = waiting.pop(0)
+                        if not world.rank_alive(w):
+                            continue
+                        yield from ctx.send(w, TAG_ASSIGN, None)
+                        done_sent += 1
+            finish_times[ctx.rank] = run.sim.now
+            chunk_counts[ctx.rank] = 0
+            iter_counts[ctx.rank] = 0
+
         def worker(ctx: RankCtx):
             n_chunks = 0
             n_iters = 0
@@ -100,6 +176,7 @@ class MasterWorkerModel(ExecutionModel):
                     run.trace.add(ctx.name(), t0, run.sim.now, trace_mod.COMPUTE)
                 calc.record((ctx.rank - 1) % n_workers, size, compute_time=duration)
                 run.record_subchunk(step, start, size, pe=ctx.rank)
+                run.release_claim(ctx.rank, step, start, size)
                 n_chunks += 1
                 n_iters += size
             finish_times[ctx.rank] = run.sim.now
@@ -108,19 +185,39 @@ class MasterWorkerModel(ExecutionModel):
 
         def main(ctx: RankCtx):
             if ctx.rank == 0:
-                yield from master(ctx)
+                if run.faults_active:
+                    yield from master_ft(ctx)
+                else:
+                    yield from master(ctx)
             else:
                 yield from worker(ctx)
 
-        processes = world.run(main)
+        def recover(dead_rank: int):
+            """Move the victim's claims to the orphan pool and wake the
+            master with a death notice (zero-latency local delivery —
+            the detection delay was already charged by the injector)."""
+            stranded = list(run.claims.pop(dead_rank, ()))
+            for step, start, size in stranded:
+                if size > 0:
+                    run.orphans.append((step, start, size))
+                    run.fault_counters["chunks_reexecuted"] += 1
+            world._mailboxes[0].deliver_after(
+                0.0,
+                Message(source=dead_rank, tag=TAG_REQUEST, payload="__dead__"),
+            )
+            return
+            yield  # pragma: no cover - marks this function as a generator
+
+        processes = run_world(run, world, main, recover=recover)
         for process, ctx in zip(processes, world.contexts):
+            end = process.end_time if process.end_time is not None else run.sim.now
             run.record_worker(
                 name=ctx.name() + (".master" if ctx.rank == 0 else ""),
                 node=ctx.node,
-                finish_time=finish_times[ctx.rank],
+                finish_time=finish_times.get(ctx.rank, end),
                 process=process,
-                n_chunks=chunk_counts[ctx.rank],
-                n_iterations=iter_counts[ctx.rank],
+                n_chunks=chunk_counts.get(ctx.rank, 0),
+                n_iterations=iter_counts.get(ctx.rank, 0),
             )
         run.counters["messages"] = sum(
             box.n_delivered for box in world._mailboxes

@@ -55,8 +55,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core import trace as trace_mod
 from repro.core.technique_base import ChunkCalculator
-from repro.models.base import ExecutionModel, GlobalQueue, _Run
-from repro.sim.primitives import ComputeOnce
+from repro.models.base import ExecutionModel, GlobalQueue, _Run, run_world
+from repro.sim.primitives import ComputeOnce, Timeout
 from repro.smpi.shm import SharedWindow
 from repro.smpi.world import MpiWorld, RankCtx
 
@@ -189,6 +189,7 @@ class MpiMpiModel(ExecutionModel):
 
     name = "mpi+mpi"
     supports_placement = True
+    supports_faults = True
 
     def _execute(self, run: _Run) -> None:
         depth = run.spec.depth
@@ -214,7 +215,13 @@ class MpiMpiModel(ExecutionModel):
                 run.ppn,
                 run.costs,
             )
-        world = MpiWorld(run.sim, run.cluster, ppn=run.ppn, costs=run.costs)
+        world = MpiWorld(
+            run.sim,
+            run.cluster,
+            ppn=run.ppn,
+            costs=run.costs,
+            faults=run.faults if run.faults_active else None,
+        )
         inter_pes = world.size if depth == 1 else run.cluster.n_nodes
         inter_calc = run.spec.inter.make_calculator(
             run.workload.n,
@@ -228,6 +235,7 @@ class MpiMpiModel(ExecutionModel):
             run.workload.n,
             host_rank=0 if plan is None else plan.global_host,
             pinned=run.spec.inter.technique.pinned_per_pe,
+            run=run,
         )
         local_queues = self._build_queues(run, world, queue, depth, plan)
         finish_times = {}
@@ -246,15 +254,23 @@ class MpiMpiModel(ExecutionModel):
                     chunk_counts, iter_counts,
                 )
 
-        processes = world.run(worker)
+        recover = self._make_recover(run, world, queue, local_queues, depth)
+        processes = run_world(run, world, worker, recover=recover)
         for process, ctx in zip(processes, world.contexts):
+            # a crash-stopped rank never reaches the loop epilogue: fall
+            # back to its death time and zero chunk counts
+            end = process.end_time if process.end_time is not None else run.sim.now
             run.record_worker(
                 name=ctx.name(),
                 node=ctx.node,
-                finish_time=finish_times[ctx.rank],
+                finish_time=finish_times.get(ctx.rank, end),
                 process=process,
-                n_chunks=chunk_counts[ctx.rank],
-                n_iterations=iter_counts[ctx.rank],
+                n_chunks=chunk_counts.get(ctx.rank, 0),
+                n_iterations=iter_counts.get(ctx.rank, 0),
+            )
+        if run.faults_active:
+            run.fault_counters["lock_leases_broken"] = sum(
+                lq.shm.n_leases_broken for lq in local_queues.values()
             )
         run.counters["global_atomics"] = queue.window.n_atomics
         run.counters["remote_atomics"] = queue.window.n_remote_atomics
@@ -398,6 +414,148 @@ class MpiMpiModel(ExecutionModel):
         )
 
     # ------------------------------------------------------------------
+    # failure recovery (driven by the fault injector at detection time)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _group_ranks(world: MpiWorld, key) -> List[int]:
+        """The member ranks of the tier group a queue key names."""
+        placement = world.placement
+        if isinstance(key, tuple):
+            if len(key) == 2:
+                return placement.ranks_on_socket(*key)
+            return placement.ranks_on_numa(*key)
+        return placement.ranks_on_node(key)
+
+    @staticmethod
+    def _descendant_keys(local_queues: Dict[object, _LocalQueue], key) -> List[object]:
+        """``key`` plus every queue key nested inside its tier group."""
+        prefix = key if isinstance(key, tuple) else (key,)
+        found = []
+        for other in local_queues:
+            tup = other if isinstance(other, tuple) else (other,)
+            if tup[: len(prefix)] == prefix:
+                found.append(other)
+        return found
+
+    def _reopen(self, local_queues: Dict[object, _LocalQueue], key) -> None:
+        """Clear ``global_done`` on ``key``'s queue and all descendants.
+
+        Always called *after* the re-deposit: pollers check the queue
+        contents before the drained flag, so a concurrent refill
+        re-marking the flag can never hide the deposited work.
+        """
+        for other in self._descendant_keys(local_queues, key):
+            local_queues[other].shm.cells["global_done"] = 0
+
+    def _nearest_live_queue(
+        self,
+        world: MpiWorld,
+        local_queues: Dict[object, _LocalQueue],
+        dead_rank: int,
+    ):
+        """The re-deposit target: the queue with at least one live
+        member whose home is closest to the dead rank (locality-tier
+        distance of the PR-4 cost model), preferring shallower tiers
+        (wider sharing) on ties."""
+        best = None
+        for key, lq in local_queues.items():
+            if not any(
+                world.rank_alive(r) for r in self._group_ranks(world, key)
+            ):
+                continue
+            home = lq.shm.home_rank
+            tier_value = (
+                4 if home is None
+                else world.interconnect.distance(dead_rank, home).value
+            )
+            order = (tier_value, lq.level, str(key))
+            if best is None or order < best[0]:
+                best = (order, key, lq)
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    def _make_recover(
+        self,
+        run: _Run,
+        world: MpiWorld,
+        queue: GlobalQueue,
+        local_queues: Dict[object, _LocalQueue],
+        depth: int,
+    ):
+        """Build the per-dead-rank recovery generator for the injector."""
+
+        def recover(dead_rank: int):
+            # 1. coordinator failover: windows homed/hosted on the dead
+            # rank move to the next live rank of their tier group
+            for key, lq in local_queues.items():
+                if lq.shm.home_rank == dead_rank:
+                    live = [
+                        r
+                        for r in self._group_ranks(world, key)
+                        if world.rank_alive(r)
+                    ]
+                    if live:
+                        lq.shm.fail_over(live[0])
+                        run.fault_counters["failovers"] += 1
+            if queue.window.host_rank == dead_rank:
+                live = [r for r in range(world.size) if world.rank_alive(r)]
+                if live:
+                    queue.window.fail_over(live[0])
+                    run.fault_counters["failovers"] += 1
+            # 2. reclaim: the dead rank's in-flight claims, plus the
+            # remaining contents of any queue whose whole group died,
+            # plus a pinned STATIC chunk the victim never fetched
+            stranded = list(run.claims.pop(dead_rank, ()))
+            if depth == 1 and queue.pinned and not queue._pinned_taken.get(
+                dead_rank
+            ):
+                queue._pinned_taken[dead_rank] = True
+                size = queue.calc.size_at(dead_rank)
+                if size > 0:
+                    start = queue.calc.start_at(dead_rank)
+                    stranded.append((dead_rank, start, min(size, queue.n - start)))
+            for key, lq in local_queues.items():
+                members = self._group_ranks(world, key)
+                if any(world.rank_alive(r) for r in members):
+                    continue
+                for qc in lq.ranges:
+                    if qc.remaining > 0:
+                        stranded.append(
+                            (qc.src_step, qc.start + qc.taken, qc.remaining)
+                        )
+                # in-place clear: the list is aliased by shm.state["queue"]
+                lq.ranges.clear()
+                if (
+                    isinstance(key, int)
+                    and queue.pinned
+                    and not queue._pinned_taken.get(key)
+                ):
+                    # the dead node group never fetched its pinned chunk
+                    queue._pinned_taken[key] = True
+                    size = queue.calc.size_at(key)
+                    if size > 0:
+                        start = queue.calc.start_at(key)
+                        stranded.append((key, start, min(size, queue.n - start)))
+            # 3. re-deposit each range into the nearest live queue (or
+            # the orphan pool for depth-1 runs, which have no tiers)
+            target = self._nearest_live_queue(world, local_queues, dead_rank)
+            for step, start, size in stranded:
+                if size <= 0:
+                    continue
+                if target is None:
+                    run.orphans.append((step, start, size))
+                else:
+                    key, lq = target
+                    lq.deposit(step, start, size, ancestors=())
+                    self._reopen(local_queues, key)
+                run.fault_counters["chunks_reexecuted"] += 1
+            return
+            yield  # pragma: no cover - marks this function as a generator
+
+        return recover
+
+    # ------------------------------------------------------------------
     def _take_from(self, run: _Run, ctx: RankCtx, q: _LocalQueue, child: int):
         """Take the next sub-chunk from ``q`` (generator).
 
@@ -415,6 +573,10 @@ class MpiMpiModel(ExecutionModel):
             yield from shm.access(ctx, n=3)  # head pointers + counters
             sub = q.take(child)
             if sub is not None:
+                # claim the taken range before the unlock yields: a
+                # crash between take and execution must find it in the
+                # ledger (no-op when faults are off)
+                run.claim(ctx.rank, sub[3], sub[1], sub[2])
                 yield from shm.unlock(ctx)
                 yield from shm.sync(ctx)
                 return sub
@@ -440,8 +602,13 @@ class MpiMpiModel(ExecutionModel):
             yield from shm.access(ctx, n=3)
             if size > 0:
                 q.deposit(step, start, size, ancestors)
+                # ownership moved from this rank's claim into the queue
+                # (whole-group adoption covers the queue from here on)
+                run.release_claim(ctx.rank, step, start, size)
                 run.record_level_chunk(q.level - 1, step, start, size, q.parent_pe)
                 sub = q.take(child)
+                if sub is not None:
+                    run.claim(ctx.rank, sub[3], sub[1], sub[2])
             else:
                 shm.cells["global_done"] = 1
             yield from shm.unlock(ctx)
@@ -473,7 +640,18 @@ class MpiMpiModel(ExecutionModel):
             t_obtain = sim.now
             sub = yield from self._take_from(run, ctx, leaf, child)
             if sub is None:
-                break
+                if (
+                    not run.faults_active
+                    or run.executed_iterations >= run.workload.n
+                ):
+                    break
+                # Failure-aware termination: the tier tree looks drained,
+                # but a dead rank's reclaimed chunks may still be
+                # re-deposited (the recovery clears ``global_done`` on
+                # the target queue and its descendants).  Poll until
+                # every iteration is accounted for somewhere.
+                yield Timeout(run.costs.mpi.shm_poll_interval)
+                continue
 
             # ---- stage 3: execute the sub-chunk -------------------------
             head, sub_start, sub_size, _step = sub
@@ -501,6 +679,7 @@ class MpiMpiModel(ExecutionModel):
             # time) reproduces the original implementation's recording
             # bit-for-bit — the differential goldens pin it
             run.record_subchunk(head.local_step - 1, sub_start, sub_size, pe=ctx.rank)
+            run.release_claim(ctx.rank, _step, sub_start, sub_size)
             n_chunks += 1
             n_iters += sub_size
 
@@ -520,9 +699,25 @@ class MpiMpiModel(ExecutionModel):
         n_iters = 0
         while True:
             t_obtain = sim.now
-            step, start, size = yield from queue.next_chunk(ctx, pe=ctx.rank)
+            if run.faults_active and run.orphans:
+                # a dead rank's reclaimed range: adopt it (claim before
+                # the bookkeeping access so a crash mid-adoption cannot
+                # lose it a second time), then pay one window read
+                step, start, size = run.orphans.pop(0)
+                run.claim(ctx.rank, step, start, size)
+                yield from queue.window.get(ctx, "step")
+            else:
+                step, start, size = yield from queue.next_chunk(ctx, pe=ctx.rank)
             if size <= 0:
-                break
+                if (
+                    not run.faults_active
+                    or run.executed_iterations >= run.workload.n
+                ):
+                    break
+                # orphans may still arrive while dead ranks await
+                # detection: poll instead of exiting
+                yield Timeout(run.costs.mpi.shm_poll_interval)
+                continue
             if trace is not None and sim.now > t_obtain:
                 trace.add(ctx.name(), t_obtain, sim.now, trace_mod.OBTAIN)
             queue.calc.record_wait(ctx.rank, sim.now - t_obtain)
@@ -534,6 +729,7 @@ class MpiMpiModel(ExecutionModel):
                 trace.add(ctx.name(), t0, sim.now, trace_mod.COMPUTE)
             queue.calc.record(ctx.rank, size, compute_time=duration)
             run.record_subchunk(step, start, size, pe=ctx.rank)
+            run.release_claim(ctx.rank, step, start, size)
             n_chunks += 1
             n_iters += size
         finish_times[ctx.rank] = sim.now

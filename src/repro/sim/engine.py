@@ -100,6 +100,31 @@ class ProcessFailure(RuntimeError):
         self.original = original
 
 
+class SimulationTimeout(RuntimeError):
+    """The watchdog deadline passed before the simulation drained.
+
+    Raised by :meth:`Simulator.run` when ``max_sim_time`` is exceeded;
+    carries a diagnostic snapshot (simulated time, the still-alive
+    processes, pending event counts) so a livelocked configuration
+    fails loudly instead of spinning forever.
+    """
+
+    def __init__(self, sim: "Simulator", deadline: float):
+        alive = [p.name for p in sim.processes if p.alive]
+        shown = ", ".join(alive[:8]) + ("..." if len(alive) > 8 else "")
+        super().__init__(
+            f"simulation exceeded max_sim_time={deadline:g}s at "
+            f"t={sim.now:g}s with {len(alive)} live process(es) "
+            f"[{shown}] and {len(sim._heap) + len(sim._ready)} pending "
+            f"event(s) — likely a livelock or an unreachable termination "
+            f"condition"
+        )
+        self.deadline = deadline
+        self.sim_time = sim.now
+        self.live_processes = alive
+        self.pending_events = len(sim._heap) + len(sim._ready)
+
+
 class Process:
     """A running simulated process.
 
@@ -116,6 +141,7 @@ class Process:
         "send",
         "sim",
         "alive",
+        "killed",
         "finished",
         "_done",
         "result",
@@ -134,6 +160,8 @@ class Process:
         self.send = gen.send
         self.name = name
         self.alive = True
+        #: True when the process was crash-stopped by :meth:`Simulator.kill`
+        self.killed = False
         #: True only after a *normal* termination (generator returned);
         #: stays False for processes killed by ProcessFailure.
         self.finished = False
@@ -268,8 +296,44 @@ class Simulator:
         self._schedule_resume(process, None)
         return process
 
-    def run(self, until: Optional[float] = None) -> float:
+    def kill(self, process: Process) -> bool:
+        """Crash-stop ``process`` at the current simulated time.
+
+        Returns True if the process was alive (and is now dead), False
+        for a no-op on an already-terminated process.  The generator is
+        closed, which runs its ``finally`` blocks (modelling hardware
+        that completes in-flight atomics) and makes any stale queue
+        entry for the process resolve as an immediate ``StopIteration``
+        in the run loop — no queue scrubbing needed.  A killed process
+        never counts as :attr:`Process.finished` and its ``done`` event
+        never triggers: crash-stop is silent, exactly like a real dead
+        rank.
+        """
+        if not process.alive:
+            return False
+        process.alive = False
+        process.killed = True
+        process.end_time = self.now
+        try:
+            process.gen.close()
+        except RuntimeError:
+            # The generator refused to die (yielded during close);
+            # treat it as dead anyway — it will never be resumed.
+            pass
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_sim_time: Optional[float] = None,
+    ) -> float:
         """Run until the queues drain, ``until`` is reached, or a halt.
+
+        ``max_sim_time`` arms a watchdog: if simulated time would pass
+        it before the queues drain, :class:`SimulationTimeout` is
+        raised with a diagnostic snapshot (live processes, pending
+        events).  Unlike ``until`` — which *pauses* at the horizon —
+        the watchdog treats reaching the deadline as a failure.
 
         Returns the final simulation time.  Re-entrant calls are not
         supported (the engine is strictly single-threaded).
@@ -284,6 +348,10 @@ class Simulator:
         compute_kind = DelayKind.COMPUTE
         overhead_kind = DelayKind.OVERHEAD
         horizon = _INF if until is None else until
+        deadline = _INF if max_sim_time is None else max_sim_time
+        # The tight lane skips the horizon/deadline compare entirely, so
+        # it is only legal when neither bound is armed.
+        unbounded = until is None and max_sim_time is None
         now = self.now
         n_done = 0
         try:
@@ -300,7 +368,7 @@ class Simulator:
                 # remains the minimum — see the lazy-root invariant
                 # above) and is replaced/popped only when the resume
                 # resolves.
-                if until is None:
+                if unbounded:
                     while not ready:
                         try:
                             # The only statement this handler guards:
@@ -392,7 +460,11 @@ class Simulator:
                         _seq, process, value = ready.popleft()
                 elif heap:
                     t, _seq, process, value = heap[0]
-                    if t > horizon:
+                    if t > horizon or t > deadline:
+                        if t > deadline and deadline < horizon:
+                            # Watchdog fires before (or instead of) the
+                            # pause horizon: fail loudly.
+                            raise SimulationTimeout(self, deadline)
                         self.now = until
                         return until
                     from_heap = True
@@ -588,6 +660,12 @@ class Simulator:
             )
 
     def _finish(self, process: Process, result: Any) -> None:
+        if process.killed:
+            # A crash-stopped process's closed generator raises
+            # StopIteration when its stale queue entry resumes it; that
+            # is the entry draining, not a normal termination.  Keep the
+            # kill-time end_time and never trigger ``done``.
+            return
         process.alive = False
         process.finished = True
         process.result = result
@@ -605,9 +683,17 @@ def _stable_hash(text: str) -> int:
     return value
 
 
-def drain(sim: Simulator, processes: Iterable[Process]) -> None:
-    """Run the simulator until every given process has terminated."""
-    sim.run()
+def drain(
+    sim: Simulator,
+    processes: Iterable[Process],
+    max_sim_time: Optional[float] = None,
+) -> None:
+    """Run the simulator until every given process has terminated.
+
+    ``max_sim_time`` arms the engine watchdog (see
+    :class:`SimulationTimeout`).
+    """
+    sim.run(max_sim_time=max_sim_time)
     pending = [p for p in processes if p.alive]
     if pending:
         names = ", ".join(p.name for p in pending[:8])

@@ -72,15 +72,33 @@ class Lock:
     def release(self) -> None:
         if not self._locked:
             raise RuntimeError(f"release of unlocked {self.name}")
-        if self._waiters:
+        while self._waiters:
             # Hand off directly: the lock stays logically held, the next
-            # waiter resumes at the current time already owning it.
+            # waiter resumes at the current time already owning it.  A
+            # waiter that crash-stopped while queued can never resume to
+            # claim ownership, so its gate is skipped — otherwise the
+            # lock would be stranded "held by nobody" forever.
             gate = self._waiters.popleft()
-            self.owner = None
-            gate.trigger()
-        else:
-            self._locked = False
-            self.owner = None
+            if any(p.alive for p in gate._waiters):
+                self.owner = None
+                gate.trigger()
+                return
+        self._locked = False
+        self.owner = None
+
+    def force_release(self) -> None:
+        """Break a (dead owner's) lease: drop the lock without hand-off.
+
+        Used by failure-aware layers after they *detect* that the
+        current owner crashed while holding the lock.  Unlike
+        :meth:`release` it does not wake blocked waiters — the polling
+        protocols that use ``force_release`` retry via
+        :meth:`try_acquire`, never via the waiter queue — and it is a
+        no-op on an unlocked lock (two pollers may race to break the
+        same lease).
+        """
+        self._locked = False
+        self.owner = None
 
 
 class Semaphore:

@@ -54,22 +54,53 @@ class Window:
         # statistics
         self.n_atomics = 0
         self.n_remote_atomics = 0
+        #: times the window was re-hosted after its host rank died
+        self.n_failovers = 0
         #: accumulated atomic service seconds (latency both ways +
         #: serialised target processing + locality-tier penalty) — the
         #: distance-priced traffic the *host* placement can change.
         self.total_atomic_time_s = 0.0
 
     # ------------------------------------------------------------------
+    def fail_over(self, new_host: int) -> None:
+        """Re-host the window on ``new_host`` after its host rank died.
+
+        Coordinator failover for the *global* queue state: the window's
+        cells migrate to the new host (their values survive — the
+        recovery protocol replicates them), and all subsequent atomics
+        are priced against the new host's location.  Instantaneous in
+        simulated time; the protocol's latency is charged by the fault
+        injector.
+        """
+        if not 0 <= new_host < self.world.size:
+            raise ValueError(f"invalid failover host rank {new_host}")
+        self.host_rank = new_host
+        self.host_node = self.world.placement.node_of(new_host)
+        self.n_failovers += 1
+
     def _check_cell(self, cell: str) -> None:
         if cell not in self.cells:
             raise KeyError(f"window has no cell {cell!r}; cells: {list(self.cells)}")
 
-    def fetch_and_op(self, ctx: "RankCtx", cell: str, value: int = 0, op: str = "sum"):
+    def fetch_and_op(
+        self,
+        ctx: "RankCtx",
+        cell: str,
+        value: int = 0,
+        op: str = "sum",
+        on_commit=None,
+    ):
         """Atomic read-modify-write; returns the *old* value (generator).
 
         ``op='no_op'`` gives ``MPI_Get_accumulate`` semantics (atomic
         read).  The calling rank is charged one-way latency, serialised
         processing at the target, and the return latency.
+
+        ``on_commit(old)``, if given, runs synchronously inside the
+        target's critical section the instant the cell is updated —
+        before the return-latency yield, so a caller that crashes while
+        the result is in flight has still registered the side effect
+        (failure-aware layers use this for their claims ledger).
         """
         self._check_cell(cell)
         if op not in _OPS:
@@ -93,6 +124,8 @@ class Window:
             self.n_atomics += 1
             if remote:
                 self.n_remote_atomics += 1
+            if on_commit is not None:
+                on_commit(old)
         finally:
             self._unit.release()
         if latency:

@@ -86,6 +86,10 @@ class SharedWindow:
         self.total_poll_wait = 0.0
         self.max_attempts_per_acquire = 0
         self.n_syncs = 0
+        #: leases broken after their holder crash-stopped mid-epoch
+        self.n_leases_broken = 0
+        #: times the window was re-homed after its home rank died
+        self.n_failovers = 0
         #: accumulated locality-tier penalty seconds actually charged on
         #: this window (lock attempts, unlocks, loads, accesses,
         #: atomics) — the distance-priced share of its traffic, which is
@@ -149,6 +153,19 @@ class SharedWindow:
             yield Overhead(attempt_cost)
             if self._lock.try_acquire(owner):
                 break
+            faults = self.world.faults
+            if faults is not None and self._owner_is_dead():
+                # Lease break: the exclusive lock is held by a rank that
+                # crash-stopped mid-epoch.  Wait out one lease timeout
+                # (the failure detector's confirmation window),
+                # re-confirm, then force the lock open and retry
+                # immediately.  Never taken when faults is None, so the
+                # fault-free event stream is untouched.
+                yield OverheadOnce(faults.lease_timeout)
+                if self._owner_is_dead():
+                    self._lock.force_release()
+                    self.n_leases_broken += 1
+                continue
             wait = mpi.shm_poll_interval * float(self._rng.uniform(0.5, 1.5))
             self.total_poll_wait += wait
             yield OverheadOnce(wait)  # jittered: unique per retry, skip interning
@@ -168,6 +185,30 @@ class SharedWindow:
         """``MPI_Win_sync`` memory barrier."""
         self.n_syncs += 1
         yield Overhead(self.world.costs.mpi.shm_win_sync)
+
+    def _owner_is_dead(self) -> bool:
+        """True when the lock is held by a crash-stopped rank."""
+        owner = self._lock.owner
+        if owner is None or not owner.startswith("rank"):
+            return False
+        try:
+            rank = int(owner[4:])
+        except ValueError:
+            return False
+        return not self.world.rank_alive(rank)
+
+    def fail_over(self, new_home: int) -> None:
+        """Re-home the window on ``new_home`` after its home rank died.
+
+        Coordinator failover: the next live rank of the tier group
+        adopts the window (re-first-touching its pages), so locality
+        penalties are re-priced against the new home.  Instantaneous in
+        simulated time — the recovery protocol's latency is charged by
+        the fault injector, not here.
+        """
+        self.home_rank = new_home
+        self._penalties.clear()
+        self.n_failovers += 1
 
     @property
     def locked(self) -> bool:

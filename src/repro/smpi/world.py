@@ -9,7 +9,16 @@ of rank processes.  Rank main functions are generators taking a
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.cluster.costs import CostModel, DEFAULT_COSTS
 from repro.cluster.interconnect import Interconnect
@@ -21,6 +30,9 @@ from repro.sim.resources import Barrier, Store
 from repro.smpi.p2p import Mailbox, Message
 from repro.smpi.rma import Window
 from repro.smpi.shm import SharedWindow
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.faults import FaultModel
 
 MainFn = Callable[["RankCtx"], Generator[Command, Any, Any]]
 
@@ -34,9 +46,14 @@ class MpiWorld:
         cluster: ClusterSpec,
         ppn: Optional[int] = None,
         costs: CostModel = DEFAULT_COSTS,
+        faults: Optional["FaultModel"] = None,
     ):
         self.sim = sim
         self.cluster = cluster
+        #: fault schedule in effect, or None for a fault-free world.
+        #: Consulted by the passive-target lock poller (lease breaking);
+        #: None guarantees the fault-free event stream.
+        self.faults = faults
         if ppn is None:
             ppn = min(node.cores for node in cluster.nodes)
         self.ppn = ppn
@@ -68,11 +85,26 @@ class MpiWorld:
             processes.append(process)
         return processes
 
-    def run(self, main: MainFn, name_prefix: str = "rank") -> List[Process]:
-        """Launch and run to completion; raises on deadlock."""
+    def run(
+        self,
+        main: MainFn,
+        name_prefix: str = "rank",
+        max_sim_time: Optional[float] = None,
+    ) -> List[Process]:
+        """Launch and run to completion; raises on deadlock.
+
+        ``max_sim_time`` arms the engine watchdog (seconds of simulated
+        time) so a livelocked configuration fails loudly.
+        """
         processes = self.launch(main, name_prefix)
-        drain(self.sim, processes)
+        drain(self.sim, processes, max_sim_time=max_sim_time)
         return processes
+
+    def rank_alive(self, rank: int) -> bool:
+        """False only for a crash-stopped rank (a rank that finished
+        normally is not *dead* — it just has no more work)."""
+        process = self.contexts[rank].process
+        return process is None or not process.killed
 
     # ------------------------------------------------------------------
     def create_window(self, host_rank: int, cells: Dict[str, int]) -> Window:

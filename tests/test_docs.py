@@ -30,6 +30,7 @@ def test_required_documents_exist():
         "docs/TECHNIQUES.md",
         "docs/PERFORMANCE.md",
         "docs/PLACEMENT.md",
+        "docs/ROBUSTNESS.md",
     ):
         assert (ROOT / name).exists(), f"{name} missing"
 

@@ -180,3 +180,161 @@ def test_cell_cache_len_and_version_guard(workload, tmp_path):
     cells, _ = sweep(workload, cache_dir=tmp_path)
     cache = CellCache(str(tmp_path))
     assert len(cache) == len(cells)
+
+
+# ---------------------------------------------------------------------------
+# robustness: quarantine, worker-crash retry, fault-aware keys (PR 6)
+# ---------------------------------------------------------------------------
+def test_corrupt_cache_files_are_quarantined(workload, tmp_path):
+    cells, _ = sweep(workload, cache_dir=tmp_path)
+    n = len(list(tmp_path.glob("*.json")))
+    for path in tmp_path.glob("*.json"):
+        path.write_text("{not json")
+    again, stats = sweep(workload, cache_dir=tmp_path)
+    assert stats["simulated"] == stats["cells"]
+    # every corrupt file was moved aside, not retried or deleted
+    assert len(list(tmp_path.glob("*.json.corrupt"))) == n
+    # ... and the re-simulated results were re-published cleanly
+    third, stats3 = sweep(workload, cache_dir=tmp_path)
+    assert stats3["cache_hits"] == len(third)
+    for a, b in zip(cells, third):
+        assert a.same_result(b)
+
+
+def test_stale_version_files_are_quarantined(workload, tmp_path):
+    import json
+
+    sweep(workload, cache_dir=tmp_path)
+    for path in tmp_path.glob("*.json"):
+        payload = json.loads(path.read_text())
+        payload["version"] = 1
+        path.write_text(json.dumps(payload))
+    cache = CellCache(str(tmp_path))
+    fp = workload_fingerprint(workload)
+    key = cell_key(fp, minihpc(2, 4), "mpi+mpi", "GSS", "STATIC", 2, 4, 0)
+    assert cache.get(key) is None
+    assert cache.quarantined + cache.misses >= 1
+
+
+def test_schema_drift_within_version_is_quarantined(tmp_path):
+    import json
+    from repro.experiments.parallel import CACHE_FORMAT_VERSION
+
+    cache = CellCache(str(tmp_path))
+    key = "0" * 64
+    with open(cache._path(key), "w", encoding="utf-8") as fh:
+        json.dump(
+            {"version": CACHE_FORMAT_VERSION, "cell": {"bogus_field": 1}}, fh
+        )
+    assert cache.get(key) is None
+    assert cache.quarantined == 1
+    assert not list(tmp_path.glob("*.json"))
+    assert len(list(tmp_path.glob("*.json.corrupt"))) == 1
+
+
+def test_cell_key_tracks_fault_model(workload):
+    from repro.cluster.faults import NO_FAULTS, FaultModel
+
+    fp = workload_fingerprint(workload)
+    cluster = minihpc(2, 4)
+    base = cell_key(fp, cluster, "mpi+mpi", "GSS", "SS", 2, 4, 0)
+    # an inactive model produces the fault-free event stream, so it
+    # must key identically to faults=None (cache sharing is correct)
+    assert cell_key(
+        fp, cluster, "mpi+mpi", "GSS", "SS", 2, 4, 0, faults=NO_FAULTS
+    ) == base
+    crashed = cell_key(
+        fp, cluster, "mpi+mpi", "GSS", "SS", 2, 4, 0,
+        faults=FaultModel.parse("crash:1@0.001"),
+    )
+    assert crashed != base
+    assert crashed != cell_key(
+        fp, cluster, "mpi+mpi", "GSS", "SS", 2, 4, 0,
+        faults=FaultModel.parse("crash:1@0.002"),
+    )
+
+
+def test_run_cells_survives_worker_exceptions(workload, monkeypatch):
+    """A worker that raises mid-sweep must not lose the sweep: the
+    affected cells re-run inline and the results stay correct."""
+    from repro.experiments import parallel
+
+    specs = [("mpi+mpi", "GSS", intra, 2) for intra in ("STATIC", "SS", "GSS")]
+    clusters = [minihpc(2, 4)] * len(specs)
+    expected = parallel.run_cells(workload, specs, clusters, 4, 0, jobs=1)
+
+    def explode(task):
+        raise ValueError("simulated worker bug")
+
+    monkeypatch.setattr(parallel, "_run_cell_in_worker", explode)
+    got = parallel.run_cells(
+        workload, specs, clusters, 4, 0, jobs=2, retry_backoff=0.01
+    )
+    assert len(got) == len(expected)
+    for a, b in zip(expected, got):
+        assert a.same_result(b)
+
+
+def test_run_cells_survives_broken_process_pool(workload, monkeypatch):
+    """An OOM-killed (os._exit) worker breaks the whole pool; the sweep
+    must fall back to inline execution instead of raising."""
+    import os
+
+    from repro.experiments import parallel
+
+    specs = [("mpi+mpi", "GSS", intra, 2) for intra in ("STATIC", "SS")]
+    clusters = [minihpc(2, 4)] * len(specs)
+    expected = parallel.run_cells(workload, specs, clusters, 4, 0, jobs=1)
+
+    def die(task):
+        os._exit(1)
+
+    monkeypatch.setattr(parallel, "_run_cell_in_worker", die)
+    got = parallel.run_cells(
+        workload, specs, clusters, 4, 0, jobs=2, retry_backoff=0.01
+    )
+    for a, b in zip(expected, got):
+        assert a.same_result(b)
+
+
+def test_grid_runner_threads_faults(workload):
+    from repro.cluster.faults import FaultModel
+
+    runner = GridRunner(
+        workload=workload,
+        ppn=4,
+        node_counts=(2,),
+        faults=FaultModel.parse("crash:1@0.001"),
+    )
+    cells = runner.sweep("GSS", ("SS",), [("mpi+mpi", lambda intra: True)])
+    assert all(cell.n_failures >= 1 for cell in cells)
+
+
+def test_faulted_and_fault_free_sweeps_do_not_share_cache(workload, tmp_path):
+    from repro.cluster.faults import FaultModel
+
+    plain = GridRunner(
+        workload=workload, ppn=4, node_counts=(2,),
+        cache_dir=str(tmp_path),
+    )
+    plain_cells = plain.sweep("GSS", ("SS",), [("mpi+mpi", lambda i: True)])
+    faulted = GridRunner(
+        workload=workload, ppn=4, node_counts=(2,),
+        cache_dir=str(tmp_path),
+        faults=FaultModel.parse("crash:1@0.001"),
+    )
+    faulted_cells = faulted.sweep("GSS", ("SS",), [("mpi+mpi", lambda i: True)])
+    assert faulted.last_sweep_stats["cache_hits"] == 0
+    assert plain_cells[0].n_failures == 0
+    assert faulted_cells[0].n_failures == 1
+
+
+def test_fault_variant_smoke():
+    from repro.experiments.figures import fault_variant, run_fault_variant
+
+    spec = fault_variant("fig5a", n_nodes=2, ppn=4, crash_counts=(0, 2),
+                         inters=("FAC2",))
+    result = run_fault_variant(spec, scale="tiny")
+    assert result.all_passed, result.to_text()
+    assert "crash-stop" in result.to_text()
+    assert result.degradation("FAC2", 2) >= -0.01

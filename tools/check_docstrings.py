@@ -35,6 +35,7 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 CHECKED_MODULES = [
     "src/repro/cluster/__init__.py",
     "src/repro/cluster/costs.py",
+    "src/repro/cluster/faults.py",
     "src/repro/cluster/interconnect.py",
     "src/repro/cluster/machine.py",
     "src/repro/cluster/noise.py",
