@@ -247,6 +247,39 @@ def collect(rounds: int = 30) -> Dict[str, Dict[str, float]]:
                 stats[counter] = result.counters[counter]
         results[key] = stats
 
+    # Distributed chunk calculation (PR 7): coordinator-queue contention
+    # vs the single-counter dCC model as ranks-per-node grows.  A
+    # fine-grained SS+SS stack makes every rank fetch constantly: the
+    # master-worker coordinator serialises request/reply pairs, the
+    # mpi+mpi node queues serialise lock-polled refills, and dCC pays
+    # exactly one lock-free atomic per chunk — the gap widens with ppn.
+    dcc_wl = uniform_workload(2000, low=5e-5, high=5e-4, seed=5)
+
+    def run_dcc_cell(approach, ppn):
+        return run_hierarchical(
+            dcc_wl, minihpc(4, ppn), inter="SS", intra="SS",
+            approach=approach, ppn=ppn, seed=0, collect_chunks=False,
+        )
+
+    for ppn in (4, 16, 32):
+        for approach in ("master-worker", "mpi+mpi", "dcc"):
+            key = f"dcc_contention_{approach.replace('-', '_').replace('+', '_')}_ppn{ppn}"
+            stats = _time_best(
+                lambda: run_dcc_cell(approach, ppn), hier_rounds
+            )
+            result = run_dcc_cell(approach, ppn)
+            stats["simulated_parallel_time_s"] = result.parallel_time
+            for counter in (
+                "dcc_steps",
+                "global_atomics",
+                "global_atomic_time_s",
+                "total_poll_wait",
+                "lock_acquisitions",
+            ):
+                if counter in result.counters:
+                    stats[counter] = result.counters[counter]
+            results[key] = stats
+
     # Topology-aware native groups: the same depth-4 stack on real
     # threads, groups formed from the machine description.
     from repro.core.hierarchy import HierarchicalSpec

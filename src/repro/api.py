@@ -17,12 +17,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.models.base import ExecutionModel, RunResult
     from repro.workloads.base import Workload
 
-#: canonical names for the paper's two implementation approaches
-APPROACHES = ("mpi+mpi", "mpi+openmp", "flat-mpi", "master-worker")
+#: canonical names for the implementation approaches
+APPROACHES = ("mpi+mpi", "mpi+openmp", "flat-mpi", "master-worker", "dcc")
 
 
 def _resolve_model(approach: str) -> "ExecutionModel":
     from repro.models import (
+        DccModel,
         FlatMpiModel,
         MasterWorkerModel,
         MpiMpiModel,
@@ -40,6 +41,7 @@ def _resolve_model(approach: str) -> "ExecutionModel":
         "mpiopenmp": MpiOpenMpModel,
         "flatmpi": FlatMpiModel,
         "masterworker": MasterWorkerModel,
+        "dcc": DccModel,
     }
     if key not in table:
         raise ValueError(f"unknown approach {approach!r}; choose from {APPROACHES}")
@@ -61,6 +63,7 @@ def run_hierarchical(
     placement: Any = "leader",
     faults: Union[str, Any, None] = None,
     max_sim_time: Optional[float] = None,
+    dcc: bool = False,
     **spec_kwargs: Any,
 ) -> "RunResult":
     """Run one hierarchical DLS combination and return its result.
@@ -83,7 +86,11 @@ def run_hierarchical(
         (cluster -> node -> socket -> numa -> core).
     approach:
         ``"mpi+mpi"`` (paper's contribution), ``"mpi+openmp"``
-        (baseline), ``"flat-mpi"`` or ``"master-worker"`` (ablations).
+        (baseline), ``"flat-mpi"`` or ``"master-worker"`` (ablations),
+        or ``"dcc"`` (distributed chunk calculation, arXiv 2101.07050:
+        the stack is flattened ahead of time and every rank resolves
+        its own chunks from one fetch-and-incremented counter —
+        deterministic techniques only).
     ppn:
         Workers per node (defaults to each node's core count).
     seed:
@@ -113,6 +120,11 @@ def run_hierarchical(
         not completed by then raises
         :class:`repro.sim.engine.SimulationTimeout` with diagnostics
         instead of spinning forever.
+    dcc:
+        Run the given mpi+mpi level stack in dCC mode: same composed
+        chunk schedule, but dispensed from the single global counter
+        instead of the hierarchical queues (equivalent to
+        ``approach="dcc"``; only valid with the mpi+mpi approach).
 
     Returns
     -------
@@ -128,6 +140,15 @@ def run_hierarchical(
     spec = HierarchicalSpec.of_levels(
         *split_stack(inter), *split_stack(intra), **spec_kwargs
     )
+    if dcc:
+        resolved = _resolve_model(approach)
+        if resolved.name not in ("mpi+mpi", "dcc"):
+            raise ValueError(
+                f"dcc=True reroutes an mpi+mpi level stack through the "
+                f"distributed-chunk-calculation model; it does not apply "
+                f"to approach={approach!r}"
+            )
+        approach = "dcc"
     model = _resolve_model(approach)
     return model.run(
         workload=workload,

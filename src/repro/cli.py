@@ -32,6 +32,12 @@ Examples::
               # fault injection: rank 5 crash-stops at t=2ms, rank 2
               # runs at half speed from t=1ms; the run completes on the
               # survivors (see docs/ROBUSTNESS.md)
+    repro run --approach dcc --techniques GSS+FAC2 --nodes 4 --ppn 16
+              # distributed chunk calculation: the stack is flattened
+              # ahead of time, every rank fetch-and-increments one
+              # global counter and resolves its chunk locally (no
+              # coordinator, no queues); --dcc reroutes an mpi+mpi
+              # stack the same way
 """
 
 from __future__ import annotations
@@ -166,6 +172,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         placement=args.placement,
         faults=args.faults,
         max_sim_time=args.max_sim_time,
+        dcc=args.dcc,
     )
     print(result.describe())
     print(result.metrics.summary())
@@ -260,7 +267,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="run one simulated loop execution")
     p.add_argument("--app", default="mandelbrot",
                    choices=["mandelbrot", "psia"])
-    p.add_argument("--approach", default="mpi+mpi")
+    p.add_argument("--approach", default="mpi+mpi",
+                   help="execution model: mpi+mpi (paper), mpi+openmp, "
+                        "flat-mpi, master-worker, or dcc (distributed "
+                        "chunk calculation: one global counter, chunks "
+                        "resolved locally from the flattened stack)")
+    p.add_argument("--dcc", action="store_true",
+                   help="run the given mpi+mpi level stack in dCC mode "
+                        "(same composed schedule, dispensed from the "
+                        "single global counter; shorthand for "
+                        "--approach dcc)")
     p.add_argument("--inter", default="GSS")
     p.add_argument("--intra", default="STATIC")
     p.add_argument("--techniques", default=None, metavar="W+X[+Y[+Z]]",

@@ -863,6 +863,226 @@ def run_fault_variant(
     return result
 
 
+# ---------------------------------------------------------------------------
+# dCC sweep: coordinator contention vs distributed chunk calculation (PR 7)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class DccVariantSpec:
+    """One coordinator-contention comparison: the centralised
+    master-worker, the hierarchical mpi+mpi queues and distributed
+    chunk calculation swept over growing node width (``ppn``).
+
+    As ``ppn`` grows every worker of the coordinator approaches queues
+    on one agent, while dCC pays exactly one remote atomic per chunk —
+    the contention argument of arXiv 2101.07050, measured on the same
+    simulated machine.
+    """
+
+    figure_id: str
+    paper_ref: str
+    app: str
+    inter: str = "SS"
+    intra: str = "SS"
+    n_nodes: int = 4
+    ppn_counts: Tuple[int, ...] = (4, 8, 16, 32)
+    approaches: Tuple[str, ...] = ("master-worker", "mpi+mpi", "dcc")
+
+    @property
+    def title(self) -> str:
+        """Human-readable header for the report."""
+        return (
+            f"{self.paper_ref}: {self.app} coordinator contention vs dCC — "
+            f"{' vs '.join(self.approaches)} with {self.inter}+{self.intra} "
+            f"on {self.n_nodes} nodes, ppn in {list(self.ppn_counts)}"
+        )
+
+
+def dcc_variant(
+    figure_id: str,
+    inter: str = "SS",
+    intra: str = "SS",
+    n_nodes: int = 4,
+    ppn_counts: Tuple[int, ...] = (4, 8, 16, 32),
+) -> DccVariantSpec:
+    """Derive the dCC contention comparison of a paper figure.
+
+    Same application as the original figure, on a fixed node count with
+    workers-per-node on the x-axis.  Not part of the paper — the
+    distributed-chunk-calculation extension sweep::
+
+        run_dcc_variant(dcc_variant("fig5a"))
+    """
+    base = FIGURES[figure_id]
+    return DccVariantSpec(
+        figure_id=f"{base.figure_id}-dcc",
+        paper_ref=f"{base.paper_ref} (dCC contention extension)",
+        app=base.app,
+        inter=inter,
+        intra=intra,
+        n_nodes=n_nodes,
+        ppn_counts=ppn_counts,
+    )
+
+
+@dataclass(frozen=True)
+class DccCell:
+    """One contention-sweep point: an approach at one node width."""
+
+    approach: str
+    ppn: int
+    time: float
+    #: total atomics retired by the global RMA window (0 for approaches
+    #: without one) and the scheduling steps dCC dispensed
+    global_atomics: int
+    dcc_steps: int
+    #: measured distance-priced queue traffic in seconds
+    placement_cost: float
+
+
+@dataclass
+class DccVariantResult:
+    """Outcome of one coordinator-contention comparison sweep."""
+
+    spec: DccVariantSpec
+    cells: List[DccCell]
+    checks: List[ShapeCheck] = field(default_factory=list)
+
+    def series(self, approach: str) -> Dict[int, float]:
+        """ppn -> makespan for one approach panel."""
+        return {
+            c.ppn: c.time
+            for c in sorted(self.cells, key=lambda c: c.ppn)
+            if c.approach == approach
+        }
+
+    def run_checks(self) -> List[ShapeCheck]:
+        """dCC must complete every sweep point, retire exactly one
+        atomic per dispensed step plus one exhausted fetch per rank,
+        and not lose to the centralised coordinator at the widest
+        node."""
+        spec = self.spec
+        checks: List[ShapeCheck] = []
+        for approach in spec.approaches:
+            mine = [c for c in self.cells if c.approach == approach]
+            checks.append(
+                ShapeCheck(
+                    f"{approach}: one run per node width",
+                    passed=len(mine) == len(spec.ppn_counts),
+                    detail=f"{len(mine)}/{len(spec.ppn_counts)} runs",
+                )
+            )
+        dcc_cells = [c for c in self.cells if c.approach == "dcc"]
+        accounting = all(
+            c.global_atomics == c.dcc_steps + spec.n_nodes * c.ppn
+            for c in dcc_cells
+        )
+        checks.append(
+            ShapeCheck(
+                "dcc: atomics == dispensed steps + one exhausted fetch "
+                "per rank",
+                passed=bool(dcc_cells) and accounting,
+                detail=f"{len(dcc_cells)} widths checked",
+            )
+        )
+        if "master-worker" in spec.approaches and dcc_cells:
+            widest = max(spec.ppn_counts)
+            t_dcc = self.series("dcc").get(widest)
+            t_coord = self.series("master-worker").get(widest)
+            ok = (
+                t_dcc is not None
+                and t_coord is not None
+                and t_dcc <= t_coord * 1.01
+            )
+            checks.append(
+                ShapeCheck(
+                    f"dcc does not lose to the coordinator at ppn={widest}",
+                    passed=ok,
+                    detail=(
+                        f"T_dcc={t_dcc:.4g}s vs T_mw={t_coord:.4g}s"
+                        if t_dcc is not None and t_coord is not None
+                        else "missing cells"
+                    ),
+                )
+            )
+        self.checks = checks
+        return checks
+
+    def to_text(self) -> str:
+        """Paper-style report: makespan vs node width per approach."""
+        spec = self.spec
+        lines = [spec.title, "=" * len(spec.title)]
+        header = (
+            f"{'approach':>13} | {'ppn':>4} | {'T':>10} | "
+            f"{'atomics':>8} | {'steps':>6} | {'priced traffic':>14}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for approach in spec.approaches:
+            for cell in sorted(
+                (c for c in self.cells if c.approach == approach),
+                key=lambda c: c.ppn,
+            ):
+                lines.append(
+                    f"{approach:>13} | {cell.ppn:>4} | {cell.time:>9.4g}s |"
+                    f" {cell.global_atomics:>8} | {cell.dcc_steps:>6} |"
+                    f" {cell.placement_cost * 1e6:>12.1f}us"
+                )
+        lines.append("\nshape checks (dCC contention extension):")
+        for check in self.checks or self.run_checks():
+            lines.append(check.line())
+        return "\n".join(lines)
+
+    @property
+    def all_passed(self) -> bool:
+        """Whether every contention-sweep shape check passed."""
+        return all(c.passed for c in (self.checks or self.run_checks()))
+
+
+def run_dcc_variant(
+    spec: "DccVariantSpec | str",
+    scale: Optional[str] = None,
+    seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> DccVariantResult:
+    """Sweep one coordinator-contention comparison (a :func:`dcc_variant`
+    spec or a figure id to derive it from) and evaluate its checks."""
+    if isinstance(spec, str):
+        spec = dcc_variant(spec)
+    workload = figure_workload(spec.app, scale or scale_from_env())
+    cells: List[DccCell] = []
+    for approach in spec.approaches:
+        for ppn in spec.ppn_counts:
+            result = run_hierarchical(
+                workload,
+                minihpc(spec.n_nodes, ppn),
+                inter=spec.inter,
+                intra=spec.intra,
+                approach=approach,
+                ppn=ppn,
+                seed=seed,
+                collect_chunks=False,
+            )
+            cell = DccCell(
+                approach=approach,
+                ppn=ppn,
+                time=result.parallel_time,
+                global_atomics=int(result.counters.get("global_atomics", 0)),
+                dcc_steps=int(result.counters.get("dcc_steps", 0)),
+                placement_cost=float(
+                    result.counters.get("placement_cost_s", 0.0)
+                ),
+            )
+            cells.append(cell)
+            if progress is not None:
+                progress(
+                    f"  {approach:<13} ppn={ppn:<3} T={cell.time:.4g}s "
+                    f"atomics={cell.global_atomics}"
+                )
+    result = DccVariantResult(spec=spec, cells=cells)
+    result.run_checks()
+    return result
+
+
 def run_sync_illustration(scale: str = "quick", seed: int = 0) -> str:
     """Regenerate Figures 2 and 3: the implicit-synchronisation Gantt
     charts for MPI+OpenMP vs MPI+MPI on one node-pair slice."""

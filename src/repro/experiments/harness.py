@@ -89,14 +89,16 @@ def simulate_cell(
     costs: Optional[CostModel] = None,
     placement: Union[str, Mapping[Any, int]] = "leader",
     faults: Optional[Any] = None,
+    dcc: bool = False,
 ) -> Cell:
     """Run one cell's simulation (shared by serial path and pool workers).
 
     ``costs`` overrides the cost model (None = package default),
-    ``placement`` the window-home policy, and ``faults`` the fault
-    schedule (a :class:`repro.cluster.faults.FaultModel` or None) — all
-    default to the historical behaviour, so pre-existing sweeps are
-    untouched.
+    ``placement`` the window-home policy, ``faults`` the fault
+    schedule (a :class:`repro.cluster.faults.FaultModel` or None), and
+    ``dcc`` reroutes mpi+mpi stacks through the
+    distributed-chunk-calculation model — all default to the
+    historical behaviour, so pre-existing sweeps are untouched.
     """
     t0 = time.perf_counter()
     result: RunResult = run_hierarchical(
@@ -111,6 +113,7 @@ def simulate_cell(
         costs=costs,
         placement=placement,
         faults=faults,
+        dcc=dcc,
     )
     wall = time.perf_counter() - t0
     return Cell(
@@ -166,6 +169,9 @@ class GridRunner:
     #: fault schedule injected into every cell (None = fault-free);
     #: requires failure-aware approaches — see repro.cluster.faults
     faults: Optional[Any] = None
+    #: reroute every mpi+mpi cell through the distributed-chunk-
+    #: calculation model (same composed schedule, single global counter)
+    dcc: bool = False
     #: filled by :meth:`sweep`: {"cells", "simulated", "cache_hits"}
     last_sweep_stats: Dict[str, int] = field(default_factory=dict, repr=False)
 
@@ -187,6 +193,7 @@ class GridRunner:
             costs=self.costs,
             placement=self.placement,
             faults=self.faults,
+            dcc=self.dcc,
         )
         self._report(cell)
         return cell
@@ -236,7 +243,7 @@ class GridRunner:
                 keys[index] = cell_key(
                     fingerprint, cluster, *spec, self.ppn, self.seed,
                     costs=self.costs, placement=self.placement,
-                    faults=self.faults,
+                    faults=self.faults, dcc=self.dcc,
                 )
                 cells[index] = cache.get(keys[index])
                 if cells[index] is not None:
@@ -264,6 +271,7 @@ class GridRunner:
             costs=self.costs,
             placement=self.placement,
             faults=self.faults,
+            dcc=self.dcc,
         )
 
         self.last_sweep_stats = {

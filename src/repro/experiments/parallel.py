@@ -62,11 +62,13 @@ CellSpec = Tuple[str, str, str, int]
 #: a window-placement argument as accepted by ``simulate_cell``
 PlacementArg = Union[str, Mapping]
 
-# v4: cells carry fault counters (n_failures / n_reexecuted) and keys
-# carry the fault-model signature, so a faulted sweep can never collide
-# with (or be served from) a fault-free one.  v3 added NUMA-tier cluster
-# signatures, placement_cost, and the cost-model/placement key fields.
-CACHE_FORMAT_VERSION = 4
+# v5: keys carry the dcc flag (an mpi+mpi stack rerouted through the
+# distributed-chunk-calculation model simulates a different protocol
+# from the same spec, so the two must never collide).  v4 added fault
+# counters (n_failures / n_reexecuted) and the fault-model signature;
+# v3 NUMA-tier cluster signatures, placement_cost, and the
+# cost-model/placement key fields.
+CACHE_FORMAT_VERSION = 5
 
 
 # ---------------------------------------------------------------------------
@@ -128,6 +130,7 @@ def cell_key(
     costs: Optional[CostModel] = None,
     placement: PlacementArg = "leader",
     faults: Optional["FaultModel"] = None,
+    dcc: bool = False,
 ) -> str:
     """Content-addressed cache key for one grid cell.
 
@@ -135,7 +138,9 @@ def cell_key(
     default, whose identity is already folded in via
     :func:`model_signature`); ``placement`` the window-home policy;
     ``faults`` the fault schedule (an *inactive* model keys identically
-    to ``None`` — both produce the fault-free event stream).
+    to ``None`` — both produce the fault-free event stream); ``dcc``
+    reroutes mpi+mpi stacks through the distributed-chunk-calculation
+    model (a different protocol, hence part of the key).
     """
     payload = json.dumps(
         {
@@ -152,6 +157,7 @@ def cell_key(
             "costs": None if costs is None else asdict(costs),
             "placement": placement_signature(placement),
             "faults": None if faults is None else faults.signature(),
+            "dcc": bool(dcc),
         },
         sort_keys=True,
         separators=(",", ":"),
@@ -263,19 +269,20 @@ def _init_worker(
     costs: Optional[CostModel] = None,
     placement: PlacementArg = "leader",
     faults: Optional["FaultModel"] = None,
+    dcc: bool = False,
 ) -> None:
     global _WORKER_CTX
-    _WORKER_CTX = (workload, ppn, seed, costs, placement, faults)
+    _WORKER_CTX = (workload, ppn, seed, costs, placement, faults, dcc)
 
 
 def _run_cell_in_worker(task: Tuple[CellSpec, ClusterSpec]) -> "Cell":
     from repro.experiments.harness import simulate_cell
 
     (approach, inter, intra, nodes), cluster = task
-    workload, ppn, seed, costs, placement, faults = _WORKER_CTX
+    workload, ppn, seed, costs, placement, faults, dcc = _WORKER_CTX
     return simulate_cell(
         workload, cluster, approach, inter, intra, nodes, ppn, seed,
-        costs=costs, placement=placement, faults=faults,
+        costs=costs, placement=placement, faults=faults, dcc=dcc,
     )
 
 
@@ -290,6 +297,7 @@ def run_cells(
     costs: Optional[CostModel] = None,
     placement: PlacementArg = "leader",
     faults: Optional["FaultModel"] = None,
+    dcc: bool = False,
     retries: int = 2,
     retry_backoff: float = 0.1,
 ) -> List["Cell"]:
@@ -315,7 +323,7 @@ def run_cells(
         spec, cluster = specs[index], clusters[index]
         cell = simulate_cell(
             workload, cluster, *spec, ppn, seed,
-            costs=costs, placement=placement, faults=faults,
+            costs=costs, placement=placement, faults=faults, dcc=dcc,
         )
         if on_result is not None:
             on_result(index, cell)
@@ -332,7 +340,7 @@ def run_cells(
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(specs)),
             initializer=_init_worker,
-            initargs=(shippable, ppn, seed, costs, placement, faults),
+            initargs=(shippable, ppn, seed, costs, placement, faults, dcc),
         ) as pool:
             futures = {
                 pool.submit(_run_cell_in_worker, task): index

@@ -14,15 +14,21 @@
 * :class:`~repro.models.master_worker.MasterWorkerModel` — the classic
   centralised master-worker (DLB-tool style, two-sided messages), the
   historical baseline whose bottleneck motivated hierarchies.
+* :class:`~repro.models.dcc.DccModel` — distributed chunk calculation
+  (arXiv 2101.07050): the level stack is flattened ahead of time and
+  every rank resolves its own chunk from one fetch-and-incremented
+  counter — no coordinator, no queues, no locks on the hot path.
 """
 
 from repro.models.base import ExecutionModel, RunResult
+from repro.models.dcc import DccModel
 from repro.models.flat_mpi import FlatMpiModel
 from repro.models.master_worker import MasterWorkerModel
 from repro.models.mpi_mpi import MpiMpiModel
 from repro.models.mpi_openmp import MpiOpenMpModel
 
 __all__ = [
+    "DccModel",
     "ExecutionModel",
     "FlatMpiModel",
     "MasterWorkerModel",

@@ -439,11 +439,13 @@ class GlobalQueue:
                 # fetch's return latency cannot strand the range.
                 calc = self.calc
                 rank = ctx.rank
+                n_total = self.n
 
                 def committed(old: int) -> None:
-                    carved = calc.size_at(old)
+                    begin = calc.start_at(old)
+                    carved = min(calc.size_at(old), n_total - begin)
                     if carved > 0:
-                        run.claim(rank, old, calc.start_at(old), carved)
+                        run.claim(rank, old, begin, carved)
 
                 step = yield from self.window.fetch_and_op(
                     ctx, "step", 1, on_commit=committed
@@ -455,6 +457,12 @@ class GlobalQueue:
             if size <= 0:
                 return (step, self.n, 0)
             start = self.calc.start_at(step)
+            # The calculator may have been materialised for a larger
+            # loop than this queue serves (hierarchical refills, dCC
+            # segment reuse): never hand out iterations beyond ``n``.
+            size = min(size, self.n - start)
+            if size <= 0:
+                return (step, self.n, 0)
             return (step, start, size)
         # adaptive: step counter + scheduled-count protocol
         step = yield from self.window.fetch_and_op(ctx, "step", 1)

@@ -1,0 +1,334 @@
+"""Distributed chunk calculation (dCC): coordinator-free self-scheduling.
+
+The follow-up to the paper's hierarchical design (Eleliemy & Ciorba,
+"A Distributed Chunk Calculation Approach for Self-scheduling on
+Distributed-memory Systems", arXiv 2101.07050) removes the work-queue
+coordinator entirely.  The **whole** scheduling state is one integer —
+the latest scheduling step — hosted in a single RMA window.  To obtain
+work, a rank (MPI process index) issues one ``MPI_Fetch_and_op(step,
++1)`` and resolves its chunk **locally**:
+
+* the hierarchical level stack is *flattened* ahead of time into the
+  serial leaf-chunk sequence (level 0 carves the loop, each deeper
+  level carves its parent's chunks), materialised once as start/size
+  arrays via the memoised chunk-sequence machinery of
+  :mod:`repro.core.technique_base`;
+* the fetched step indexes those arrays — an O(1) lookup, no
+  coordinator queue, no per-tier locks on the hot path.
+
+Compared to :class:`~repro.models.mpi_mpi.MpiMpiModel` the produced
+chunk *set* is identical for deterministic stacks (the differential
+tests pin this); only the dynamic assignment of chunks to ranks
+differs.  What changes is the traffic: every chunk costs one remote
+atomic (latency in seconds each way plus serialised target
+processing), so the single counter window sees ``total chunks``
+atomics instead of the hierarchy's ``top-level chunks`` — cheap for
+moderate worker counts, and contended exactly like the flat global
+queue when thousands of workers hammer one NIC.  Adaptive or
+PE-dependent techniques (AWF-*, AF, WF, ADAPT) need runtime feedback
+and therefore cannot be flattened; requesting them raises
+``ValueError``.
+
+Fault tolerance reuses the failure-aware machinery: each fetched
+step's range is claimed inside the atomic's critical section
+(``on_commit``), a dead rank's claims are re-deposited as orphans, and
+the counter window fails over to the lowest live rank when its host
+dies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core import trace as trace_mod
+from repro.models.base import ExecutionModel, _Run, run_world
+from repro.sim.primitives import ComputeOnce, Overhead, Timeout
+from repro.smpi.world import MpiWorld, RankCtx
+
+#: scheduling depth ceiling, mirroring the mpi+mpi tier mapping
+#: cluster->node, node->socket, socket->numa, numa->core
+MAX_LEVELS = 4
+
+
+def _level_fanouts(run: _Run, world: MpiWorld) -> List[int]:
+    """Child count per scheduling level under the machine-tier mapping.
+
+    Mirrors :class:`~repro.models.mpi_mpi.MpiMpiModel`: depth 1
+    schedules all ranks against the root technique; depth 2 nodes then
+    cores; depth 3 adds the socket tier; depth 4 the NUMA tier.  dCC
+    flattens the stack ahead of time, so every group of a tier must
+    have the same child count — heterogeneous tiers would make the
+    flattened sequence depend on which group received which chunk.
+    """
+    depth = run.spec.depth
+    if depth == 1:
+        return [world.size]
+    placement = world.placement
+    per_node_sockets = [
+        placement.sockets_on_node(node) for node in range(run.cluster.n_nodes)
+    ]
+    fanouts = [run.cluster.n_nodes]
+    if depth == 2:
+        return fanouts + [run.ppn]
+
+    def uniform(counts: List[int], tier: str) -> int:
+        if len(set(counts)) != 1:
+            raise ValueError(
+                f"dcc flattens the level stack ahead of time and needs a "
+                f"uniform machine: {tier} group sizes differ ({sorted(set(counts))})"
+            )
+        return counts[0]
+
+    n_sockets = uniform(
+        [len(sockets) for sockets in per_node_sockets], "socket-per-node"
+    )
+    fanouts.append(n_sockets)
+    socket_groups = [
+        (node, socket)
+        for node, sockets in enumerate(per_node_sockets)
+        for socket in sockets
+    ]
+    if depth == 3:
+        members = uniform(
+            [len(placement.ranks_on_socket(*key)) for key in socket_groups],
+            "ranks-per-socket",
+        )
+        return fanouts + [members]
+    numa_groups = [
+        (node, socket, numa)
+        for node, socket in socket_groups
+        for numa in placement.numas_on_socket(node, socket)
+    ]
+    fanouts.append(
+        uniform(
+            [len(placement.numas_on_socket(*key)) for key in socket_groups],
+            "numa-per-socket",
+        )
+    )
+    fanouts.append(
+        uniform(
+            [len(placement.ranks_on_numa(*key)) for key in numa_groups],
+            "ranks-per-numa",
+        )
+    )
+    return fanouts
+
+
+def _flatten_schedule(run: _Run, world: MpiWorld) -> List[Tuple[int, int]]:
+    """Materialise the stack's serial leaf sequence as (start, size) pairs.
+
+    Level 0 carves ``[0, n)`` with the root technique; each deeper
+    level independently carves every parent chunk with a fresh
+    calculator over (chunk size, tier fanout) — exactly the carving a
+    hierarchical run performs at deposit time, minus the dynamic
+    assignment.  Inner calculators for equal (technique, size, fanout)
+    triples hit the process-wide memoised sequence cache, so flattening
+    a large loop costs one unrolling per *distinct* chunk size, not one
+    per chunk.
+    """
+    for index, level in enumerate(run.spec.levels):
+        technique = level.technique
+        if technique.adaptive or technique.pe_dependent:
+            raise ValueError(
+                f"dcc resolves chunks locally from a pre-materialised "
+                f"sequence; adaptive/PE-dependent technique "
+                f"{technique.name!r} at level {index} needs runtime "
+                f"feedback — use approach='mpi+mpi' for it"
+            )
+    fanouts = _level_fanouts(run, world)
+    segments: List[Tuple[int, int]] = [(0, run.workload.n)]
+    for index, fanout in enumerate(fanouts):
+        level = run.spec.levels[index]
+        carved: List[Tuple[int, int]] = []
+        for start, size in segments:
+            calc = level.make_calculator(
+                size,
+                fanout,
+                rng=run.sim.rng(f"dcc-rnd.l{index}"),
+                chunk_overhead=run.costs.chunk_calc,
+            )
+            if not calc.deterministic:
+                raise ValueError(
+                    f"dcc requires deterministic chunk sequences; "
+                    f"{level.technique.name!r} at level {index} is not"
+                )
+            # Sequential size_at unroll rather than calc.sequence():
+            # min-chunk wrapped calculators are consumed step by step.
+            offset = start
+            end = start + size
+            step = 0
+            while offset < end:
+                nominal = calc.size_at(step)
+                if nominal <= 0:
+                    raise ValueError(
+                        f"{level.technique.name!r} returned size {nominal} "
+                        f"at step {step} with {end - offset} iterations left"
+                    )
+                chunk = min(nominal, end - offset)
+                carved.append((offset, chunk))
+                offset += chunk
+                step += 1
+        segments = carved
+    return segments
+
+
+class DccModel(ExecutionModel):
+    """Distributed chunk calculation over one global step counter."""
+
+    name = "dcc"
+    supports_placement = True
+    supports_faults = True
+
+    def inter_pe_count(self, cluster, ppn: int) -> int:
+        """Every rank schedules against the counter directly."""
+        return cluster.n_nodes * ppn
+
+    def _execute(self, run: _Run) -> None:
+        depth = run.spec.depth
+        if depth > MAX_LEVELS:
+            raise ValueError(
+                f"dcc maps scheduling levels onto machine tiers "
+                f"cluster->node->socket->numa->core and therefore supports "
+                f"at most {MAX_LEVELS} levels; got a depth-{depth} stack "
+                f"({run.spec.label})"
+            )
+        run.n_sched_levels = depth
+        world = MpiWorld(
+            run.sim,
+            run.cluster,
+            ppn=run.ppn,
+            costs=run.costs,
+            faults=run.faults if run.faults_active else None,
+        )
+        schedule = _flatten_schedule(run, world)
+        starts = [start for start, _ in schedule]
+        sizes = [size for _, size in schedule]
+        n_steps = len(schedule)
+        # Counter-window placement: the optimizer prices the window
+        # against a depth-1 view of the stack because *every* rank
+        # talks to the counter directly (there are no tier queues to
+        # absorb traffic).
+        host = 0
+        plan = None
+        if not (isinstance(run.placement, str) and run.placement == "leader"):
+            from repro.cluster.placement_opt import resolve_placement
+            from repro.core.hierarchy import HierarchicalSpec
+
+            plan = resolve_placement(
+                run.placement,
+                HierarchicalSpec(levels=(run.spec.inter,)),
+                run.workload.n,
+                run.cluster,
+                run.ppn,
+                run.costs,
+            )
+            if plan is not None:
+                host = plan.global_host
+        window = world.create_window(host, {"step": 0})
+        chunk_calc_cost = run.costs.chunk_calc
+        claims_on = run.faults_active
+        finish_times = {}
+        chunk_counts = {}
+        iter_counts = {}
+
+        def next_step(ctx: RankCtx):
+            """Fetch-and-increment the counter; claim inside the atomic."""
+            if claims_on:
+                rank = ctx.rank
+
+                def committed(old: int) -> None:
+                    if old < n_steps:
+                        run.claim(rank, old, starts[old], sizes[old])
+
+                step = yield from window.fetch_and_op(
+                    ctx, "step", 1, on_commit=committed
+                )
+            else:
+                step = yield from window.fetch_and_op(ctx, "step", 1)
+            yield Overhead(chunk_calc_cost)
+            return step
+
+        def worker(ctx: RankCtx):
+            n_chunks = 0
+            n_iters = 0
+            while True:
+                t_obtain = run.sim.now
+                if claims_on and run.orphans:
+                    # adopt a dead rank's reclaimed range (claim before
+                    # the bookkeeping read so it cannot be lost twice)
+                    step, start, size = run.orphans.pop(0)
+                    run.claim(ctx.rank, step, start, size)
+                    yield from window.get(ctx, "step")
+                else:
+                    step = yield from next_step(ctx)
+                    if step >= n_steps:
+                        if (
+                            not claims_on
+                            or run.executed_iterations >= run.workload.n
+                        ):
+                            break
+                        # orphans may still arrive while dead ranks
+                        # await detection: poll instead of exiting
+                        yield Timeout(run.costs.mpi.shm_poll_interval)
+                        continue
+                    start, size = starts[step], sizes[step]
+                if run.trace is not None and run.sim.now > t_obtain:
+                    run.trace.add(
+                        ctx.name(), t_obtain, run.sim.now, trace_mod.OBTAIN
+                    )
+                run.record_chunk(step, start, size, pe=ctx.rank)
+                duration = run.exec_time(start, size, ctx.node, ctx.core)
+                t0 = run.sim.now
+                yield ComputeOnce(duration)  # jittered: unique per chunk
+                if run.trace is not None:
+                    run.trace.add(ctx.name(), t0, run.sim.now, trace_mod.COMPUTE)
+                run.record_subchunk(step, start, size, pe=ctx.rank)
+                run.release_claim(ctx.rank, step, start, size)
+                n_chunks += 1
+                n_iters += size
+            finish_times[ctx.rank] = run.sim.now
+            chunk_counts[ctx.rank] = n_chunks
+            iter_counts[ctx.rank] = n_iters
+
+        def recover(dead_rank: int):
+            """Re-host the counter if its host died; orphan the victim's
+            claimed ranges so survivors re-execute them."""
+            if window.host_rank == dead_rank:
+                live = [r for r in range(world.size) if world.rank_alive(r)]
+                if live:
+                    window.fail_over(live[0])
+                    run.fault_counters["failovers"] += 1
+            for step, start, size in run.claims.pop(dead_rank, ()):
+                if size > 0:
+                    run.orphans.append((step, start, size))
+                    run.fault_counters["chunks_reexecuted"] += 1
+            return
+            yield  # pragma: no cover - marks this function as a generator
+
+        processes = run_world(run, world, worker, recover=recover)
+        for process, ctx in zip(processes, world.contexts):
+            end = process.end_time if process.end_time is not None else run.sim.now
+            run.record_worker(
+                name=ctx.name(),
+                node=ctx.node,
+                finish_time=finish_times.get(ctx.rank, end),
+                process=process,
+                n_chunks=chunk_counts.get(ctx.rank, 0),
+                n_iterations=iter_counts.get(ctx.rank, 0),
+            )
+        run.counters["dcc_steps"] = n_steps
+        run.counters["global_atomics"] = window.n_atomics
+        run.counters["remote_atomics"] = window.n_remote_atomics
+        # placement accounting: the counter window is the only shared
+        # object, so the priced queue traffic is exactly its atomic
+        # service time (no tier locks exist to add penalties).
+        run.counters["lock_penalty_s"] = 0.0
+        run.counters["global_atomic_time_s"] = window.total_atomic_time_s
+        run.counters["placement_cost_s"] = window.total_atomic_time_s
+        run.counters["placement"] = (
+            run.placement if isinstance(run.placement, str) else "explicit"
+        )
+        run.counters["window_homes"] = {"global": window.host_rank}
+        if plan is not None:
+            run.counters["placement_moved"] = plan.moved
+            run.counters["placement_objective_s"] = plan.objective

@@ -82,6 +82,55 @@ class Window:
         if cell not in self.cells:
             raise KeyError(f"window has no cell {cell!r}; cells: {list(self.cells)}")
 
+    def _priced_atomic(self, ctx: "RankCtx", mutate, on_commit=None):
+        """Run one serialised, distance-priced atomic at the target
+        (generator); returns ``mutate()``'s result (the *old* value).
+
+        The shared protocol behind :meth:`fetch_and_op` and
+        :meth:`compare_and_swap`: the origin pays one-way latency to
+        reach a network-remote target, queues on the target's hidden
+        FIFO unit, pays the serialised processing time (plus the
+        locality-tier penalty), applies ``mutate`` — which reads and
+        updates the cell and returns the pre-update value — and finally
+        pays the return latency.
+
+        Statistics (``n_atomics``/``total_atomic_time_s``) accrue
+        *inside* the critical section, the instant the update commits:
+        an origin that crashes before its atomic is retired (mid-request
+        latency, or while queued on the unit) must not inflate the
+        placement counters with service time the target never spent.
+
+        ``on_commit(old)`` also runs inside the critical section —
+        before the return-latency yield, so a caller that crashes while
+        the result is in flight has still registered the side effect
+        (failure-aware layers use this for their claims ledger).
+        """
+        mpi = self.world.costs.mpi
+        tier = self.world.interconnect.distance(ctx.rank, self.host_rank)
+        remote = tier is Tier.NETWORK
+        latency = self.world.cluster.network_latency if remote else 0.0
+        processing = (
+            mpi.rma_atomic if remote else mpi.shm_atomic
+        ) + mpi.tier_atomic_penalty(tier)
+
+        if latency:
+            yield Overhead(latency)
+        yield from self._unit.acquire(owner=f"rank{ctx.rank}")
+        try:
+            yield Overhead(processing)
+            old = mutate()
+            self.n_atomics += 1
+            if remote:
+                self.n_remote_atomics += 1
+            self.total_atomic_time_s += processing + 2.0 * latency
+            if on_commit is not None:
+                on_commit(old)
+        finally:
+            self._unit.release()
+        if latency:
+            yield Overhead(latency)
+        return old
+
     def fetch_and_op(
         self,
         ctx: "RankCtx",
@@ -94,42 +143,20 @@ class Window:
 
         ``op='no_op'`` gives ``MPI_Get_accumulate`` semantics (atomic
         read).  The calling rank is charged one-way latency, serialised
-        processing at the target, and the return latency.
-
-        ``on_commit(old)``, if given, runs synchronously inside the
-        target's critical section the instant the cell is updated —
-        before the return-latency yield, so a caller that crashes while
-        the result is in flight has still registered the side effect
-        (failure-aware layers use this for their claims ledger).
+        processing at the target, and the return latency; see
+        :meth:`_priced_atomic` for the timing/accounting protocol and
+        the ``on_commit(old)`` hook.
         """
         self._check_cell(cell)
         if op not in _OPS:
             raise ValueError(f"unsupported RMA op {op!r}")
-        mpi = self.world.costs.mpi
-        tier = self.world.interconnect.distance(ctx.rank, self.host_rank)
-        remote = tier is Tier.NETWORK
-        latency = self.world.cluster.network_latency if remote else 0.0
-        processing = (
-            mpi.rma_atomic if remote else mpi.shm_atomic
-        ) + mpi.tier_atomic_penalty(tier)
 
-        self.total_atomic_time_s += processing + 2.0 * latency
-        if latency:
-            yield Overhead(latency)
-        yield from self._unit.acquire(owner=f"rank{ctx.rank}")
-        try:
-            yield Overhead(processing)
+        def mutate() -> int:
             old = self.cells[cell]
             self.cells[cell] = _OPS[op](old, value)
-            self.n_atomics += 1
-            if remote:
-                self.n_remote_atomics += 1
-            if on_commit is not None:
-                on_commit(old)
-        finally:
-            self._unit.release()
-        if latency:
-            yield Overhead(latency)
+            return old
+
+        old = yield from self._priced_atomic(ctx, mutate, on_commit=on_commit)
         return old
 
     def atomic_get(self, ctx: "RankCtx", cell: str):
@@ -137,33 +164,32 @@ class Window:
         old = yield from self.fetch_and_op(ctx, cell, 0, op="no_op")
         return old
 
-    def compare_and_swap(self, ctx: "RankCtx", cell: str, expected: int, desired: int):
-        """``MPI_Compare_and_swap``; returns the old value (generator)."""
-        self._check_cell(cell)
-        mpi = self.world.costs.mpi
-        tier = self.world.interconnect.distance(ctx.rank, self.host_rank)
-        remote = tier is Tier.NETWORK
-        latency = self.world.cluster.network_latency if remote else 0.0
-        processing = (
-            mpi.rma_atomic if remote else mpi.shm_atomic
-        ) + mpi.tier_atomic_penalty(tier)
+    def compare_and_swap(
+        self,
+        ctx: "RankCtx",
+        cell: str,
+        expected: int,
+        desired: int,
+        on_commit=None,
+    ):
+        """``MPI_Compare_and_swap``; returns the old value (generator).
 
-        self.total_atomic_time_s += processing + 2.0 * latency
-        if latency:
-            yield Overhead(latency)
-        yield from self._unit.acquire(owner=f"rank{ctx.rank}")
-        try:
-            yield Overhead(processing)
+        The swap commits only when the cell holds ``expected``; either
+        way the origin pays the full priced-atomic protocol (see
+        :meth:`_priced_atomic`).  ``on_commit(old)`` runs inside the
+        critical section whether or not the swap won — the callback can
+        compare ``old`` with the expected value to tell (CAS-based
+        lock/lease protocols need the losing case too).
+        """
+        self._check_cell(cell)
+
+        def mutate() -> int:
             old = self.cells[cell]
             if old == expected:
                 self.cells[cell] = desired
-            self.n_atomics += 1
-            if remote:
-                self.n_remote_atomics += 1
-        finally:
-            self._unit.release()
-        if latency:
-            yield Overhead(latency)
+            return old
+
+        old = yield from self._priced_atomic(ctx, mutate, on_commit=on_commit)
         return old
 
     def get(self, ctx: "RankCtx", cell: str, nbytes: int = 8):

@@ -124,6 +124,51 @@ def test_exhausted_queue_keeps_returning_zero():
     assert sorted(results, reverse=True) == [1, 1, 1, 0, 0, 0, 0, 0]
 
 
+# Deterministic, profile-free techniques — the roster the single-counter
+# protocol serves (adaptive/PE-dependent ones use the scheduled-count
+# protocol, which always clamped).
+DETERMINISTIC_ROSTER = ["STATIC", "SS", "GSS", "TSS", "FAC2", "mFSC", "TFSS"]
+
+
+@pytest.mark.parametrize("name", DETERMINISTIC_ROSTER)
+def test_deterministic_final_chunk_clamped_to_queue_n(name):
+    """Regression: a calculator materialised for a larger loop than the
+    queue serves (hierarchical refills, dCC segment reuse) used to hand
+    out its final nominal chunk unclamped, overrunning ``n``."""
+    world = make_world()
+    calc = get_technique(name).make(1000, 2)
+    queue = GlobalQueue(world, calc, 950)  # nominal final chunk overshoots
+    chunks = drain_queue(world, queue)
+    verify_schedule(chunks, 950)
+    assert max(c.end for c in chunks) == 950
+
+
+@pytest.mark.parametrize("name", DETERMINISTIC_ROSTER)
+def test_deterministic_committed_claims_clamped_to_queue_n(name):
+    """The claims ledger must mirror the clamp: a claim carved inside
+    the atomic's critical section can never extend beyond the queue's
+    ``n`` (a crash would otherwise re-deposit phantom iterations)."""
+
+    class _StubRun:
+        faults_active = True
+
+        def __init__(self):
+            self.claimed = []
+
+        def claim(self, rank, step, start, size):
+            self.claimed.append((rank, step, start, size))
+
+    world = make_world()
+    run = _StubRun()
+    calc = get_technique(name).make(1000, 2)
+    queue = GlobalQueue(world, calc, 950, run=run)
+    chunks = drain_queue(world, queue)
+    verify_schedule(chunks, 950)
+    assert run.claimed, "claims ledger never engaged"
+    assert all(start + size <= 950 for _, _, start, size in run.claimed)
+    assert all(size > 0 for _, _, _, size in run.claimed)
+
+
 def test_remote_node_pays_more_for_chunks():
     """The queue host's node gets cheaper atomics — visible in worker
     overhead accounting."""

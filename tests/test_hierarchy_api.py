@@ -69,7 +69,7 @@ def test_min_chunk_wrapper_records_feedback():
 
 def test_approaches_tuple_stable():
     assert set(APPROACHES) == {
-        "mpi+mpi", "mpi+openmp", "flat-mpi", "master-worker"
+        "mpi+mpi", "mpi+openmp", "flat-mpi", "master-worker", "dcc"
     }
 
 

@@ -183,3 +183,113 @@ def test_invalid_host_rank():
     world = make_world()
     with pytest.raises(ValueError, match="invalid host rank"):
         world.create_window(99, {"a": 0})
+
+
+# ---------------------------------------------------------------------------
+# priced-atomic commit semantics (PR-7 fixes)
+# ---------------------------------------------------------------------------
+
+
+def test_cas_on_commit_fires_for_winner_and_loser():
+    """CAS-based protocols can register side effects atomically: the
+    ``on_commit(old)`` hook runs inside the critical section whether or
+    not the swap won (the callback tells by comparing ``old``)."""
+    world = make_world()
+    win = world.create_window(0, {"flag": 0})
+    observed = []
+
+    def main(ctx):
+        if ctx.rank == 0:
+            yield from win.compare_and_swap(
+                ctx, "flag", expected=0, desired=7,
+                on_commit=lambda old: observed.append(("first", old)),
+            )
+            yield from win.compare_and_swap(
+                ctx, "flag", expected=0, desired=9,
+                on_commit=lambda old: observed.append(("second", old)),
+            )
+        else:
+            yield Compute(0.0)
+
+    world.run(main)
+    assert observed == [("first", 0), ("second", 7)]
+    assert win.peek("flag") == 7
+
+
+def _atomic_pricing(world, origin_rank, host_rank=0):
+    """The (processing, latency) the cost model charges an atomic."""
+    mpi = world.costs.mpi
+    from repro.cluster.interconnect import Tier
+
+    tier = world.interconnect.distance(origin_rank, host_rank)
+    remote = tier is Tier.NETWORK
+    latency = world.cluster.network_latency if remote else 0.0
+    processing = (
+        mpi.rma_atomic if remote else mpi.shm_atomic
+    ) + mpi.tier_atomic_penalty(tier)
+    return processing, latency
+
+
+def test_crash_during_request_latency_leaves_no_trace():
+    """An origin that dies before its atomic is retired must not
+    mutate the cell, count as an atomic, or inflate the placement
+    counters with service time the target never spent (regression:
+    ``total_atomic_time_s`` used to accrue before the latency yield)."""
+    from repro.sim import Timeout
+
+    world = make_world(n_nodes=2, cores=4, ppn=4)
+    win = world.create_window(0, {"c": 0})
+
+    def main(ctx):
+        if ctx.rank == 4:  # network-remote origin
+            yield from win.fetch_and_op(ctx, "c", 1)
+        else:
+            yield Compute(0.0)
+
+    processes = world.launch(main)
+    _, latency = _atomic_pricing(world, 4)
+    assert latency > 0
+
+    def killer():
+        yield Timeout(latency / 2)  # mid-flight on the request leg
+        assert world.sim.kill(processes[4])
+
+    world.sim.spawn(killer())
+    world.sim.run()
+    assert win.peek("c") == 0
+    assert win.n_atomics == 0
+    assert win.total_atomic_time_s == 0.0
+
+
+def test_crash_during_return_latency_still_commits_and_counts():
+    """Once the target retires the atomic the commit is durable: a
+    crash while the result is in flight keeps the cell update, the
+    statistics, and the ``on_commit`` side effect."""
+    from repro.sim import Timeout
+
+    world = make_world(n_nodes=2, cores=4, ppn=4)
+    win = world.create_window(0, {"c": 0})
+    committed = []
+
+    def main(ctx):
+        if ctx.rank == 4:
+            yield from win.fetch_and_op(
+                ctx, "c", 1, on_commit=lambda old: committed.append(old)
+            )
+        else:
+            yield Compute(0.0)
+
+    processes = world.launch(main)
+    processing, latency = _atomic_pricing(world, 4)
+
+    def killer():
+        # past request leg + critical section, mid return leg
+        yield Timeout(latency + processing + latency / 2)
+        assert world.sim.kill(processes[4])
+
+    world.sim.spawn(killer())
+    world.sim.run()
+    assert win.peek("c") == 1
+    assert committed == [0]
+    assert win.n_atomics == 1
+    assert win.total_atomic_time_s == pytest.approx(processing + 2.0 * latency)

@@ -41,6 +41,7 @@ CHECKED_MODULES = [
     "src/repro/cluster/noise.py",
     "src/repro/cluster/placement_opt.py",
     "src/repro/cluster/topology.py",
+    "src/repro/models/dcc.py",
 ]
 
 #: every checked module's docstring corpus must state these conventions
