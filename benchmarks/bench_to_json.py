@@ -280,6 +280,45 @@ def collect(rounds: int = 30) -> Dict[str, Dict[str, float]]:
                     stats[counter] = result.counters[counter]
             results[key] = stats
 
+    # Full scheduling roster + ADAPT ladders (PR 8): selector variants
+    # head to head on an adversarial spike trace (rare expensive
+    # stragglers punish large committed chunks; the forced tail spike
+    # punishes coarse endgames).  The fixed-GSS row is the no-selector
+    # baseline; the legacy ADAPT row walks SS->FAC2->GSS; the ladder
+    # rows add the TSS rung and the dwell/improve hysteresis knobs.
+    from repro.cluster.costs import DEFAULT_COSTS
+    from repro.workloads import adversarial_workload
+
+    ladder_wl = adversarial_workload("spike", 2000, seed=5)
+    ladder_costs = DEFAULT_COSTS.with_overrides(
+        **{"mpi.shm_poll_interval": 1.2e-4}
+    )
+
+    def run_ladder(stack):
+        return run_hierarchical(
+            ladder_wl, homogeneous(1, 16), inter=stack, approach="mpi+mpi",
+            ppn=16, seed=0, collect_chunks=False, costs=ladder_costs,
+        )
+
+    for key, stack in (
+        ("roster_ladder_fixed_gss", "GSS+GSS"),
+        ("roster_ladder_legacy_adapt", "GSS+ADAPT"),
+        ("roster_ladder_tss_rung", "GSS+ADAPT[ss,fac2,tss]"),
+        (
+            "roster_ladder_hysteresis",
+            "GSS+ADAPT[ss,fac2,gss,dwell=4,improve=0.05]",
+        ),
+        ("roster_fiss_leaf", "GSS+FISS"),
+        ("roster_viss_leaf", "GSS+VISS"),
+        ("roster_tap_leaf", "GSS+TAP"),
+    ):
+        stats = _time_best(lambda: run_ladder(stack), hier_rounds)
+        result = run_ladder(stack)
+        stats["simulated_parallel_time_s"] = result.parallel_time
+        if "adapt_switches" in result.counters:
+            stats["adapt_switches"] = result.counters["adapt_switches"]
+        results[key] = stats
+
     # Topology-aware native groups: the same depth-4 stack on real
     # threads, groups formed from the machine description.
     from repro.core.hierarchy import HierarchicalSpec

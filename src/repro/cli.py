@@ -23,6 +23,10 @@ Examples::
               --nodes 4 --ppn 16 --numa-costs
               # ADAPT leaf: runtime-selected SS/FAC2/GSS per NUMA
               # queue, under the non-zero NUMA/socket penalty preset
+    repro run --techniques "GSS+ADAPT[ss,fac2,tss]" --nodes 4 --ppn 16
+              # configured selector ladder: the node-level queue is
+              # refilled by a selector walking ss->fac2->tss (quote the
+              # brackets for the shell)
     repro run --techniques GSS+FAC2+FAC2+STATIC --sockets 2 --numa 2 \
               --nodes 4 --ppn 16 --placement optimized --costs calibrated
               # penalty-aware queue placement: window homes solved to
@@ -284,7 +288,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(e.g. GSS+FAC2+STATIC schedules nodes, then each "
                         "node's sockets, then each socket's cores; a 4th "
                         "level schedules each socket's NUMA domains; ADAPT "
-                        "at any level selects SS/FAC2/GSS at runtime); "
+                        "at any level selects SS/FAC2/GSS at runtime, and "
+                        "ADAPT[ss,fac2,tss] configures the candidate ladder "
+                        "with optional window=/dwell=/improve= knobs); "
                         "overrides --inter/--intra")
     p.add_argument("--nodes", type=int, default=4)
     p.add_argument("--sockets", type=int, default=1,

@@ -2,8 +2,8 @@
 
 Implements the paper's five evaluated techniques — STATIC, SS, GSS, TSS,
 FAC2 — plus the wider family they are drawn from (paper Section 2 and
-the authors' DLS4LB library): FSC, mFSC, TAP, TFSS, FAC, WF, AWF,
-AWF-B/C/D/E, AF and RND.
+the authors' DLS4LB library): FSC, mFSC, TAP, TFSS, FAC, FISS, VISS,
+WF, AWF, AWF-B/C/D/E, AF and RND.
 
 Formulas follow the original publications:
 
@@ -16,7 +16,9 @@ Formulas follow the original publications:
   i.e. ``ceil(N / (P*ceil(log2(N/P))))``.
 * GSS  — Polychronopoulos & Kuck 1987: ``C_i = ceil(R_i/P)``.
 * TAP  — Lucco 1992 tapering: ``C_i = T_i + v^2/2 - v*sqrt(2*T_i + v^2/4)``
-  with ``T_i = R_i/P`` and ``v = alpha*sigma/mu``.
+  with ``T_i = R_i/P`` and ``v = alpha*sigma/mu``; ``(mu, sigma)`` are
+  estimated **at runtime** from completed chunks (``record``), with an
+  optional a-priori profile as the prior.
 * TSS  — Tzen & Ni 1993: linear decrement from ``F = ceil(N/(2P))`` to
   ``L = 1`` over ``S = ceil(2N/(F+L))`` steps.
 * TFSS — Chronopoulos et al. 2001: batches of P chunks, each the mean
@@ -25,6 +27,11 @@ Formulas follow the original publications:
   (needs sigma, mu).
 * FAC2 — the practical variant: every batch schedules half the
   remainder, ``C_j = ceil(R_j/(2P))``.
+* FISS — fixed-increase self-scheduling (LB4OMP roster): ``B`` stages
+  of ``P`` equal chunks starting at ``C_0 = N/((2+B)P)`` and growing
+  by the fixed increment ``b = 4N/((2+B)·B·(B-1)·P)`` per stage.
+* VISS — variable-increase self-scheduling: FISS whose increment
+  halves every stage, ``C_j = C_{j-1} + C_0/2^j``.
 * WF   — Flynn Hummel et al. 1996 weighted factoring: FAC2 batch chunk
   scaled by the requesting PE's fixed weight.
 * AWF  — Banicescu, Velusamy & Devaprasad 2003: WF with weights adapted
@@ -34,10 +41,14 @@ Formulas follow the original publications:
   compute time only (B, C) or compute + scheduling overhead (D, E).
 * AF   — Banicescu & Liu 2000 adaptive factoring: FAC with per-PE
   (mu_k, sigma_k) estimated online from completed chunks.
-* RND  — uniform random chunk in ``[N/(100P), N/(2P)]`` (LaPeSD-libGOMP).
+* RND  — uniform random chunk in ``[N/(100P), N/(2P)]``
+  (LaPeSD-libGOMP); **seeded-deterministic**: the whole sequence is a
+  pure function of ``(N, P, seed)``, so RND memoises and flattens
+  (dCC) like any other deterministic technique.
 * ADAPT — runtime technique *selection* (see :mod:`repro.core.adaptive`):
-  walks SS -> FAC2 -> GSS from observed chunk-fetch wait and
-  iteration-time CoV.
+  walks a configurable fineness ladder (default SS -> FAC2 -> GSS;
+  ``ADAPT[ss,fac2,tss]`` spells a custom one) from observed
+  chunk-fetch wait and iteration-time CoV.
 """
 
 from __future__ import annotations
@@ -169,22 +180,128 @@ class _Fac2Calculator(ChunkCalculator):
         return ("FAC2", self.n, self.p)
 
 
-class _TapCalculator(ChunkCalculator):
-    """Lucco's tapering (needs mu, sigma; alpha defaults to 1.3)."""
+class _StagedCalculator(ChunkCalculator):
+    """Shared machinery for the stage-based FISS/VISS pair.
 
-    def __init__(
-        self, name: str, n: int, p: int, profile: IterationProfile, alpha: float = 1.3
-    ):
+    The loop is planned as ``B`` *stages* of ``P`` equal chunks each
+    (like FAC batches); the stage size starts small and grows by a
+    technique-specific increment.  Integer rounding drift is absorbed
+    by the base class: past the last planned stage the final stage size
+    keeps being dispensed, clamped to the remainder.
+    """
+
+    def __init__(self, name: str, n: int, p: int, stages: Optional[int] = None):
         super().__init__(name, n, p)
-        self.v = alpha * profile.cov
+        if stages is None:
+            # mirror mFSC's batch count: one stage per halving of N/P
+            stages = math.ceil(math.log2(n / p)) if n > p else 2
+        self.stages = max(2, int(stages))
+
+    def _stage_size(self, stage: int) -> float:
+        raise NotImplementedError
 
     def _next_size(self, remaining: int, step: int) -> int:
-        t = remaining / self.p
-        size = t + self.v * self.v / 2.0 - self.v * math.sqrt(2.0 * t + self.v * self.v / 4.0)
-        return max(1, int(math.ceil(size)))
+        stage = min(step // self.p, self.stages - 1)
+        return int(math.ceil(self._stage_size(stage)))
 
     def _memo_key(self):
-        return ("TAP", self.n, self.p, self.v)
+        return (type(self).__name__, self.n, self.p, self.stages)
+
+
+class _FissCalculator(_StagedCalculator):
+    """Fixed-increase self-scheduling.
+
+    ``C_0 = N/((2+B)P)`` and a constant per-stage increment
+    ``b = 4N/((2+B)·B·(B-1)·P)`` — chosen so the planned stages sum to
+    exactly ``N``: ``P·(B·C_0 + b·B(B-1)/2) = N``.
+    """
+
+    def _stage_size(self, stage: int) -> float:
+        b = self.stages
+        c0 = self.n / ((2 + b) * self.p)
+        inc = 4.0 * self.n / ((2 + b) * b * (b - 1) * self.p)
+        return c0 + stage * inc
+
+
+class _VissCalculator(_StagedCalculator):
+    """Variable-increase self-scheduling.
+
+    FISS's ``C_0``, but the increment halves every stage:
+    ``C_j = C_{j-1} + C_0/2^j``, i.e. closed-form
+    ``C_j = C_0·(2 - 2^{-j})`` — sizes converge towards ``2·C_0``.
+    """
+
+    def _stage_size(self, stage: int) -> float:
+        c0 = self.n / ((2 + self.stages) * self.p)
+        return c0 * (2.0 - 0.5 ** stage)
+
+
+class _TapCalculator(ChunkCalculator):
+    """Lucco's tapering with runtime ``(mu, sigma)`` estimation.
+
+    The variance margin ``v = alpha·sigma/mu`` is re-estimated from
+    completed chunks reported through :meth:`record`; an optional
+    a-priori :class:`IterationProfile` seeds the estimate, so the first
+    chunks taper exactly as in the original a-priori formulation.
+    Because the margin tracks runtime state the calculator is
+    *adaptive* (scheduled-count protocol, no serial prefix, rejected by
+    dCC).
+    """
+
+    deterministic = False
+    adaptive = True
+
+    def __init__(
+        self,
+        name: str,
+        n: int,
+        p: int,
+        profile: Optional[IterationProfile] = None,
+        alpha: float = 1.3,
+    ):
+        super().__init__(name, n, p)
+        self.alpha = float(alpha)
+        self._prior_cov = profile.cov if profile is not None else 0.0
+        self._scheduled = 0
+        self._count = 0
+        self._sum_t = 0.0
+        self._sum_t2 = 0.0
+
+    def record(
+        self, pe: int, size: int, compute_time: float, overhead_time: float = 0.0
+    ) -> None:
+        if size <= 0:
+            return
+        per_iter = compute_time / size
+        self._count += 1
+        self._sum_t += per_iter
+        self._sum_t2 += per_iter * per_iter
+
+    @property
+    def cov(self) -> float:
+        """Current sigma/mu estimate (the prior until two chunks report)."""
+        if self._count < 2:
+            return self._prior_cov
+        mu = self._sum_t / self._count
+        if mu <= 0:
+            return self._prior_cov
+        var = max(0.0, self._sum_t2 / self._count - mu * mu)
+        return math.sqrt(var) / mu
+
+    def size_at(self, step: int, pe: Optional[int] = None) -> int:
+        remaining = self.n - self._scheduled
+        if remaining <= 0:
+            return 0
+        v = self.alpha * self.cov
+        t = remaining / self.p
+        size = t + v * v / 2.0 - v * math.sqrt(2.0 * t + v * v / 4.0)
+        size = max(1, min(int(math.ceil(size)), remaining))
+        self._scheduled += size
+        return size
+
+    @property
+    def scheduled(self) -> int:
+        return self._scheduled
 
 
 # ---------------------------------------------------------------------------
@@ -340,29 +457,29 @@ class _AfCalculator(ChunkCalculator):
 
 
 class _RndCalculator(ChunkCalculator):
-    """Random self-scheduling (seeded, reproducible)."""
+    """Random self-scheduling, seeded-deterministic.
 
-    deterministic = False
+    The whole sequence is a pure function of ``(n, p, seed)``: sizes
+    are drawn from a private ``default_rng(seed)`` during
+    materialisation, so RND memoises (and flattens under dCC) exactly
+    like the closed-form techniques — every rank derives the identical
+    schedule from the spec alone.
+    """
 
-    def __init__(self, name: str, n: int, p: int, rng: np.random.Generator):
+    def __init__(self, name: str, n: int, p: int, seed: int):
         super().__init__(name, n, p)
-        self._rng = rng
-        self._scheduled = 0
+        self.seed = int(seed)
         self.low = max(1, n // (100 * p)) if n else 1
         self.high = max(self.low, ceil_div(n, 2 * p)) if n else 1
+        self._draw: Optional[np.random.Generator] = None
 
-    def size_at(self, step: int, pe: Optional[int] = None) -> int:
-        remaining = self.n - self._scheduled
-        if remaining <= 0:
-            return 0
-        size = int(self._rng.integers(self.low, self.high + 1))
-        size = max(1, min(size, remaining))
-        self._scheduled += size
-        return size
+    def _next_size(self, remaining: int, step: int) -> int:
+        if step == 0 or self._draw is None:
+            self._draw = np.random.default_rng(self.seed)
+        return int(self._draw.integers(self.low, self.high + 1))
 
-    @property
-    def scheduled(self) -> int:
-        return self._scheduled
+    def _memo_key(self):
+        return ("RND", self.n, self.p, self.seed)
 
 
 # ---------------------------------------------------------------------------
@@ -439,11 +556,14 @@ class Gss(Technique):
 
 class Tap(Technique):
     name = "TAP"
-    needs_profile = True
-    description = "Lucco's tapering: GSS shrunk by a variance safety margin."
+    adaptive = True
+    description = (
+        "Lucco's tapering: GSS shrunk by a variance safety margin "
+        "estimated at runtime (an a-priori profile seeds the estimate)."
+    )
 
     def make(self, n, p, *, profile=None, **kwargs):
-        return _TapCalculator(self.name, n, p, self._require_profile(profile))
+        return _TapCalculator(self.name, n, p, profile=profile)
 
 
 class Tss(Technique):
@@ -479,6 +599,38 @@ class Fac2(Technique):
 
     def make(self, n, p, **kwargs):
         return _Fac2Calculator(self.name, n, p)
+
+
+class Fiss(Technique):
+    name = "FISS"
+    description = (
+        "Fixed-increase self-scheduling: B stages of P chunks, sizes "
+        "growing from N/((2+B)P) by a fixed increment."
+    )
+
+    def __init__(self, stages: Optional[int] = None):
+        self.stages = stages
+
+    def make(self, n, p, *, stages=None, **kwargs):
+        return _FissCalculator(
+            self.name, n, p, stages if stages is not None else self.stages
+        )
+
+
+class Viss(Technique):
+    name = "VISS"
+    description = (
+        "Variable-increase self-scheduling: FISS whose stage increment "
+        "halves every stage (C_j = C_{j-1} + C_0/2^j)."
+    )
+
+    def __init__(self, stages: Optional[int] = None):
+        self.stages = stages
+
+    def make(self, n, p, *, stages=None, **kwargs):
+        return _VissCalculator(
+            self.name, n, p, stages if stages is not None else self.stages
+        )
 
 
 class Wf(Technique):
@@ -543,12 +695,22 @@ class Af(Technique):
 class Rnd(Technique):
     name = "RND"
     openmp_extension_clause = "schedule(runtime) [LaPeSD-libGOMP random]"
-    description = "Random chunk in [N/(100P), N/(2P)] (seeded)."
+    description = (
+        "Random chunk in [N/(100P), N/(2P)]; the sequence is a pure "
+        "function of (N, P, seed), so RND is deterministic given the spec."
+    )
 
-    def make(self, n, p, *, rng=None, **kwargs):
-        if rng is None:
-            rng = np.random.default_rng(0)
-        return _RndCalculator(self.name, n, p, rng)
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+
+    def make(self, n, p, *, seed=None, rng=None, **kwargs):
+        # ``rng`` is accepted (execution models pass their per-stream
+        # generator to every level) but deliberately unused: the
+        # sequence must derive from the spec alone so every rank — and
+        # the dCC flattener — computes the identical schedule.
+        return _RndCalculator(
+            self.name, n, p, self.seed if seed is None else seed
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -570,6 +732,8 @@ TECHNIQUES: Dict[str, Technique] = {
         Tfss(),
         Fac(),
         Fac2(),
+        Fiss(),
+        Viss(),
         Wf(),
         Awf(),
         AwfB(),
@@ -591,8 +755,18 @@ INTEL_OPENMP_SUPPORTED = ("STATIC", "SS", "GSS")
 
 
 def get_technique(name: str) -> Technique:
-    """Look up a technique by (case-insensitive) name."""
-    key = name.strip().upper()
+    """Look up a technique by (case-insensitive) name.
+
+    ``ADAPT[...]`` spellings (e.g. ``"ADAPT[ss,fac2,tss]"``) construct
+    a configured :class:`~repro.core.adaptive.Adapt` ladder instead of
+    hitting the registry — this is what makes custom ladders usable in
+    every stack-string surface (``HierarchicalSpec.parse``, the CLI's
+    ``--techniques``, GridRunner sweeps).
+    """
+    stripped = name.strip()
+    key = stripped.upper()
+    if key.startswith("ADAPT[") and key.endswith("]"):
+        return Adapt.parse(stripped)
     if key == "MFSC":
         key = "mFSC"
     technique = TECHNIQUES.get(key)

@@ -123,11 +123,18 @@ def numa_variant(
     )
 
 
+#: extra fixed-technique panels appended by ``adaptive_variant(...,
+#: full_roster=True)`` — the roster beyond the paper's original grids
+FULL_ROSTER_EXTRAS = ("FISS", "VISS", "RND", "TAP")
+
+
 def adaptive_variant(
     figure_id: str,
     sockets_per_node: int = 1,
     numa_per_socket: int = 1,
     mid: str = "FAC2",
+    full_roster: bool = False,
+    ladders: tuple = (),
 ) -> FigureSpec:
     """Derive the runtime-adaptive (``ADAPT`` leaf) variant of a figure.
 
@@ -140,24 +147,34 @@ def adaptive_variant(
 
         run_figure_spec(adaptive_variant("fig5a"))
 
-    MPI+OpenMP series are skipped for the ADAPT panel automatically:
-    the runtime selector has no OpenMP ``schedule`` clause, exactly
-    like the paper's unsupported TSS/FAC2 intra techniques.
+    ``full_roster=True`` also appends the post-paper fixed techniques
+    (:data:`FULL_ROSTER_EXTRAS`: FISS, VISS, seeded RND, TAP), and
+    ``ladders`` accepts configured selector spellings such as
+    ``"ADAPT[ss,fac2,tss]"`` to compare candidate ladders side by
+    side.  The plain ``ADAPT`` panel always stays last.
+
+    MPI+OpenMP series are skipped for the ADAPT/ladder panels
+    automatically: the runtime selector has no OpenMP ``schedule``
+    clause, exactly like the paper's unsupported TSS/FAC2 intra
+    techniques.
     """
     base = FIGURES[figure_id]
+    extras = FULL_ROSTER_EXTRAS if full_roster else ()
+    panels = (*base.intras, *extras, *ladders, "ADAPT")
     if sockets_per_node == 1 and numa_per_socket == 1:
-        intras = (*base.intras, "ADAPT")
+        intras = panels
         suffix_id, suffix_ref = "-adapt", " (ADAPT runtime-selection extension)"
     else:
         prefix = mid if numa_per_socket == 1 else f"{mid}+{mid}"
-        intras = tuple(
-            f"{prefix}+{intra}" for intra in (*base.intras, "ADAPT")
-        )
+        intras = tuple(f"{prefix}+{intra}" for intra in panels)
         suffix_id = f"-adapt-s{sockets_per_node}m{numa_per_socket}"
         suffix_ref = (
             f" (ADAPT extension, {sockets_per_node}-socket x "
             f"{numa_per_socket}-NUMA)"
         )
+    if full_roster or ladders:
+        suffix_id += "-roster"
+        suffix_ref = suffix_ref.rstrip(")") + ", full roster)"
     return replace(
         base,
         figure_id=f"{base.figure_id}{suffix_id}",

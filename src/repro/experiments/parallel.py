@@ -62,13 +62,19 @@ CellSpec = Tuple[str, str, str, int]
 #: a window-placement argument as accepted by ``simulate_cell``
 PlacementArg = Union[str, Mapping]
 
+# v6: the technique roster changed semantics — RND is now
+# seeded-deterministic (same key, different schedule than the
+# rng-consuming v5 behaviour), TAP estimates (mu, sigma) at runtime,
+# FISS/VISS joined the roster, and configurable ADAPT ladders
+# (``ADAPT[ss,fac2,tss]`` spellings) appear verbatim in the
+# inter/intra key fields — pre-roster cells must never be reused.
 # v5: keys carry the dcc flag (an mpi+mpi stack rerouted through the
 # distributed-chunk-calculation model simulates a different protocol
 # from the same spec, so the two must never collide).  v4 added fault
 # counters (n_failures / n_reexecuted) and the fault-model signature;
 # v3 NUMA-tier cluster signatures, placement_cost, and the
 # cost-model/placement key fields.
-CACHE_FORMAT_VERSION = 5
+CACHE_FORMAT_VERSION = 6
 
 
 # ---------------------------------------------------------------------------

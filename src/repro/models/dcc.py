@@ -24,10 +24,13 @@ atomic (latency in seconds each way plus serialised target
 processing), so the single counter window sees ``total chunks``
 atomics instead of the hierarchy's ``top-level chunks`` — cheap for
 moderate worker counts, and contended exactly like the flat global
-queue when thousands of workers hammer one NIC.  Adaptive or
-PE-dependent techniques (AWF-*, AF, WF, ADAPT) need runtime feedback
-and therefore cannot be flattened; requesting them raises
-``ValueError``.
+queue when thousands of workers hammer one NIC.  Any deterministic
+technique flattens — STATIC, SS, GSS, TSS, FAC2, mFSC, TFSS, FISS,
+VISS, and seeded RND (whose schedule is a pure function of the spec,
+so every rank materialises the same sequence).  Adaptive or
+PE-dependent techniques (TAP, AWF-*, AF, WF, ADAPT and ``ADAPT[...]``
+ladders) need runtime feedback and therefore cannot be flattened;
+requesting them raises ``ValueError``.
 
 Fault tolerance reuses the failure-aware machinery: each fetched
 step's range is claimed inside the atomic's critical section

@@ -13,7 +13,9 @@ workloads derive their cost vectors from **real kernels**:
 
 :mod:`repro.workloads.synthetic` provides distributional generators
 (constant/uniform/gaussian/exponential/bimodal/ramp) for tests and
-ablations, and :mod:`repro.workloads.traces` persists cost traces.
+ablations, and :mod:`repro.workloads.traces` persists cost traces and
+generates adversarial stress traces (spike/ramp/bimodal structure
+built to provoke adaptive technique selection).
 """
 
 from repro.workloads.base import Workload
@@ -28,10 +30,17 @@ from repro.workloads.synthetic import (
     ramp_workload,
     uniform_workload,
 )
-from repro.workloads.traces import load_trace, save_trace
+from repro.workloads.traces import (
+    ADVERSARIAL_KINDS,
+    adversarial_workload,
+    load_trace,
+    save_trace,
+)
 
 __all__ = [
+    "ADVERSARIAL_KINDS",
     "Workload",
+    "adversarial_workload",
     "banded_workload",
     "bimodal_workload",
     "constant_workload",

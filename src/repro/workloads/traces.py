@@ -1,10 +1,19 @@
-"""Persisting workload cost traces.
+"""Persisting workload cost traces and adversarial trace generation.
 
 Traces let expensive cost vectors (full-scale Mandelbrot/PSIA) be
 computed once and reused across benchmark runs, and let users feed
 *measured* per-iteration times from real applications into the
 simulator — the same workflow the authors' later simulation work uses
 (FLOP-count / time traces driving a simulator).
+
+:func:`adversarial_workload` complements the smooth distributional
+generators in :mod:`repro.workloads.synthetic` with *structured*
+stress traces — spikes, phase-flipping ramps, blocky bimodal costs —
+built to provoke the adaptive selector (ADAPT ladders) into switching
+and to punish techniques whose chunk sizes commit early.  Every trace
+is a pure function of ``(kind, n, seed, base, peak)`` so regression
+tests can pin schedules against it, and it round-trips through
+:func:`save_trace` / :func:`load_trace` like any measured trace.
 """
 
 from __future__ import annotations
@@ -18,6 +27,84 @@ import numpy as np
 from repro.workloads.base import Workload
 
 _FORMAT_VERSION = 1
+
+#: recognised ``kind`` values for :func:`adversarial_workload`
+ADVERSARIAL_KINDS = ("spike", "ramp", "bimodal")
+
+
+def adversarial_workload(
+    kind: str,
+    n: int,
+    *,
+    seed: int = 0,
+    base: float = 0.2e-3,
+    peak: float = 8.0e-3,
+) -> Workload:
+    """Generate a structured stress trace of ``n`` iteration costs.
+
+    * ``"spike"`` — flat baseline punctured by rare (≈2%) expensive
+      spikes at seeded positions, with one spike forced into the final
+      tenth of the loop so schedules with large tail chunks always
+      absorb at least one late straggler.
+    * ``"ramp"`` — a phase-flipping ramp: costs climb linearly from
+      ``base`` to ``peak`` over the first half, then descend back.
+      Decreasing ramps favour TSS-style linear tapering; the embedded
+      flip penalises a selector that commits to one rule early.
+    * ``"bimodal"`` — contiguous cheap/expensive blocks of seeded
+      random lengths, so the runtime (mu, sigma) estimate whipsaws as
+      whole blocks enter and leave the feedback window.
+
+    The result is deterministic given the arguments (the generator
+    derives everything from ``numpy.random.default_rng(seed)``).
+    """
+    if kind not in ADVERSARIAL_KINDS:
+        raise ValueError(
+            f"unknown adversarial kind {kind!r}; expected one of "
+            f"{ADVERSARIAL_KINDS}"
+        )
+    if n < 1:
+        raise ValueError("need n >= 1")
+    if not 0 < base <= peak:
+        raise ValueError("need 0 < base <= peak")
+    rng = np.random.default_rng(seed)
+    if kind == "spike":
+        costs = np.full(n, base)
+        n_spikes = max(1, n // 50)
+        costs[rng.choice(n, size=n_spikes, replace=False)] = peak
+        # force a straggler into the last tenth of the loop
+        tail_start = (9 * n) // 10
+        costs[int(rng.integers(tail_start, n))] = peak
+    elif kind == "ramp":
+        half = max(n // 2, 1)
+        up = np.linspace(base, peak, half)
+        down = np.linspace(peak, base, n - half) if n > half else up[:0]
+        costs = np.concatenate([up, down])[:n]
+        # seeded multiplicative jitter keeps the ramp from being
+        # perfectly learnable from a handful of observations
+        costs = costs * rng.uniform(0.9, 1.1, size=n)
+    else:  # bimodal blocks
+        costs = np.empty(n)
+        mean_block = max(n // 16, 1)
+        cursor = 0
+        expensive = bool(rng.integers(0, 2))
+        while cursor < n:
+            length = int(rng.integers(1, 2 * mean_block + 1))
+            stop = min(cursor + length, n)
+            costs[cursor:stop] = peak if expensive else base
+            expensive = not expensive
+            cursor = stop
+    costs = np.maximum(costs, 1e-12)
+    return Workload(
+        name=f"adversarial-{kind}-{n}",
+        costs=costs,
+        meta={
+            "kernel": "adversarial",
+            "kind": kind,
+            "seed": seed,
+            "base": base,
+            "peak": peak,
+        },
+    )
 
 
 def save_trace(workload: Workload, path: Union[str, Path]) -> Path:

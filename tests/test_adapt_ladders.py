@@ -1,0 +1,186 @@
+"""Configurable ADAPT candidate ladders + hysteresis (ISSUE 8, satellite 3).
+
+Three pinned behaviours:
+
+* the ``ADAPT[...]`` parse surface round-trips spellings, knobs and
+  errors;
+* the hysteresis knobs (``dwell=``, ``improve=``) measurably damp
+  selector thrash — at the calculator level under adversarial
+  alternating feedback, and at the run level (at most one switch per
+  tier on a noisy seeded workload);
+* the legacy bare ``ADAPT`` spelling is bit-exact with the PR-7
+  behaviour: same SS->FAC2->GSS walk, same counters, same parallel
+  time on the pinned replay.
+"""
+
+import pytest
+
+from repro.api import run_hierarchical
+from repro.cluster.costs import DEFAULT_COSTS
+from repro.cluster.machine import homogeneous
+from repro.core import get_technique
+from repro.core.adaptive import RULE_NAMES, Adapt, _AdaptiveCalculator
+from repro.core.technique_base import TechniqueError
+from repro.workloads import uniform_workload
+
+
+# ---------------------------------------------------------------------------
+# parse surface
+# ---------------------------------------------------------------------------
+def test_parse_round_trips_spelling():
+    for spelling in (
+        "ADAPT[ss,fac2]",
+        "ADAPT[fac2,gss,tss]",
+        "ADAPT[ss,fac2,gss,tss,window=6,dwell=2,improve=0.05]",
+    ):
+        technique = Adapt.parse(spelling)
+        assert technique.spelling() == spelling
+        assert technique.name == spelling
+        # and the registry dispatcher resolves the same configuration
+        via_registry = get_technique(spelling)
+        assert via_registry.candidates == technique.candidates
+        assert via_registry.min_dwell == technique.min_dwell
+
+
+def test_parse_is_case_insensitive_and_order_preserving():
+    technique = Adapt.parse("adapt[TSS,fac2,Ss]")
+    assert technique.candidates == ("TSS", "FAC2", "SS")
+    # index 0 is the starting rung, whatever the order given
+    calc = technique.make(1000, 4)
+    assert calc.mode == "TSS"
+
+
+def test_parse_knobs():
+    technique = Adapt.parse("ADAPT[ss,gss,window=8,dwell=3,improve=0.1]")
+    assert technique.window == 8
+    assert technique.min_dwell == 3
+    assert technique.improve_threshold == pytest.approx(0.1)
+    calc = technique.make(500, 4)
+    assert calc.window == 8 and calc.min_dwell == 3
+
+
+@pytest.mark.parametrize(
+    "bad, match",
+    [
+        ("ADAPT[ss,frobnicate]", "unknown candidate rules"),
+        ("ADAPT[window=4]", "names no candidate rules"),
+        ("ADAPT[ss,,gss]", "empty entry"),
+        ("ADAPT[ss,speed=11]", "unknown ADAPT knob"),
+        ("ADAPT[ss,dwell=abc]", "bad value"),
+        ("GSS", "not an ADAPT ladder"),
+    ],
+)
+def test_parse_rejects_bad_spellings(bad, match):
+    with pytest.raises(TechniqueError, match=match):
+        Adapt.parse(bad)
+
+
+def test_default_instance_keeps_legacy_name():
+    assert Adapt().name == "ADAPT"
+    assert Adapt().candidates == ("SS", "FAC2", "GSS")
+    assert "TSS" in RULE_NAMES
+
+
+# ---------------------------------------------------------------------------
+# the TSS rung
+# ---------------------------------------------------------------------------
+def test_tss_rung_tapers_linearly_from_mode_entry():
+    calc = _AdaptiveCalculator("ADAPT[tss]", 1000, 4, candidates=("TSS",))
+    sizes = [calc.size_at(step) for step in range(12)]
+    assert sizes[0] == 125  # ceil(1000 / (2*4))
+    assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+    assert all(s >= 1 for s in sizes)
+
+
+def test_tss_rung_reanchors_after_a_switch():
+    calc = _AdaptiveCalculator(
+        "x", 10000, 2, candidates=("TSS", "GSS"), window=2
+    )
+    first_anchor = calc.size_at(0)
+    # force a coarsen (wait dominates), then a refine back into TSS
+    calc.record_wait(0, 10.0)
+    calc.record(0, 100, compute_time=0.1)
+    calc.record(1, 100, compute_time=0.1)
+    assert calc.mode == "GSS"
+    calc.record(0, 100, compute_time=5.0)
+    calc.record(1, 100, compute_time=0.001)
+    assert calc.mode == "TSS"
+    # the new trapezoid anchors on what remains, not on the original n
+    assert calc.size_at(99) < first_anchor
+
+
+# ---------------------------------------------------------------------------
+# hysteresis: dwell + improvement margin damp thrash
+# ---------------------------------------------------------------------------
+def _drive_alternating(calc, rounds):
+    """Adversarial feedback: wait-dominated and variance-dominated
+    windows alternate, inviting a switch at every boundary."""
+    step = 0
+    for round_idx in range(rounds):
+        if round_idx % 2 == 0:
+            calc.record_wait(0, 10.0)
+            times = (0.1, 0.1)
+        else:
+            times = (5.0, 0.001)
+        for t in times:
+            calc.size_at(step)
+            calc.record(step % calc.p, 100, compute_time=t)
+            step += 1
+
+
+def test_hysteresis_damps_selector_thrash():
+    thrashy = _AdaptiveCalculator("a", 10**6, 2, window=2)
+    _drive_alternating(thrashy, rounds=12)
+    damped = _AdaptiveCalculator(
+        "b", 10**6, 2, window=2, min_dwell=3, improve_threshold=0.05
+    )
+    _drive_alternating(damped, rounds=12)
+    assert thrashy.switch_count >= 6
+    assert damped.switch_count <= thrashy.switch_count // 2
+
+
+def test_min_dwell_blocks_early_switch_exactly():
+    calc = _AdaptiveCalculator("c", 10**6, 2, window=2, min_dwell=2)
+    # two wait-dominated windows: still dwelling, no switch allowed
+    for _ in range(2):
+        calc.record_wait(0, 10.0)
+        calc.record(0, 100, compute_time=0.1)
+        calc.record(1, 100, compute_time=0.1)
+    assert calc.switch_count == 0 and calc.mode == "SS"
+    # the third window clears the dwell and fires
+    calc.record_wait(0, 10.0)
+    calc.record(0, 100, compute_time=0.1)
+    calc.record(1, 100, compute_time=0.1)
+    assert calc.switch_count == 1 and calc.mode == "FAC2"
+
+
+# ---------------------------------------------------------------------------
+# run level: the seeded noisy-workload regression
+# ---------------------------------------------------------------------------
+def _noisy_run(inter):
+    return run_hierarchical(
+        uniform_workload(2000, low=5e-5, high=5e-4, seed=5),
+        homogeneous(1, 16),
+        inter=inter,
+        approach="mpi+mpi",
+        ppn=16,
+        seed=0,
+        costs=DEFAULT_COSTS.with_overrides(**{"mpi.shm_poll_interval": 1.2e-4}),
+    )
+
+
+def test_dwelled_ladder_switches_at_most_once_per_tier():
+    result = _noisy_run("GSS+ADAPT[ss,fac2,gss,dwell=4,improve=0.05]")
+    assert result.counters["adapt_switches"] <= 1
+    assert sum(result.counters["adapt_final_modes"].values()) == 1
+
+
+def test_legacy_adapt_replay_is_bit_exact_with_pr7():
+    """The bare ``ADAPT`` spelling must still walk SS->FAC2->GSS with
+    PR-7's exact counters and timing (captured before the ladder
+    generalisation landed)."""
+    result = _noisy_run("GSS+ADAPT")
+    assert result.counters["adapt_switches"] == 1
+    assert result.counters["adapt_final_modes"] == {"FAC2": 1}
+    assert result.parallel_time.hex() == "0x1.192b671b333b9p-5"
+    assert result.n_events == 1020

@@ -267,6 +267,22 @@ def test_adaptive_variant_spec_and_gridrunner():
     assert cells[0].time > 0
 
 
+def test_adaptive_variant_full_roster_and_ladders():
+    from repro.experiments.figures import FULL_ROSTER_EXTRAS, adaptive_variant
+
+    spec = adaptive_variant(
+        "fig5a", full_roster=True, ladders=("ADAPT[ss,fac2,tss]",)
+    )
+    assert spec.figure_id == "fig5a-adapt-roster"
+    assert spec.intras[-1] == "ADAPT"  # the plain selector stays last
+    for extra in FULL_ROSTER_EXTRAS:
+        assert extra in spec.intras
+    assert "ADAPT[ss,fac2,tss]" in spec.intras
+    # the base panels are untouched and come first
+    base = adaptive_variant("fig5a")
+    assert spec.intras[: len(base.intras) - 1] == base.intras[:-1]
+
+
 def test_adapt_has_no_openmp_clause():
     """MPI+OpenMP cannot run an ADAPT leaf (no schedule clause) — the
     same restriction as the paper's unsupported TSS/FAC2 intras."""

@@ -1,0 +1,102 @@
+"""Adversarial trace generator tests (ISSUE 8, satellite 4).
+
+The generator must be a pure function of its arguments (so schedules
+against it can be pinned), carry the structural signature its kind
+promises, survive the trace save/load round trip, and drive a full
+hierarchical run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import run_hierarchical
+from repro.cluster.machine import homogeneous
+from repro.core import verify_schedule
+from repro.workloads import (
+    ADVERSARIAL_KINDS,
+    adversarial_workload,
+    load_trace,
+    save_trace,
+)
+
+
+@pytest.mark.parametrize("kind", ADVERSARIAL_KINDS)
+def test_shape_and_positivity(kind):
+    wl = adversarial_workload(kind, 500, seed=3)
+    assert wl.costs.shape == (500,)
+    assert np.all(wl.costs > 0)
+    assert wl.name == f"adversarial-{kind}-500"
+    assert wl.meta["kernel"] == "adversarial"
+    assert wl.meta["kind"] == kind and wl.meta["seed"] == 3
+
+
+@pytest.mark.parametrize("kind", ADVERSARIAL_KINDS)
+def test_deterministic_given_the_arguments(kind):
+    a = adversarial_workload(kind, 400, seed=11)
+    b = adversarial_workload(kind, 400, seed=11)
+    assert np.array_equal(a.costs, b.costs)
+    c = adversarial_workload(kind, 400, seed=12)
+    assert not np.array_equal(a.costs, c.costs)
+
+
+def test_spike_structure():
+    wl = adversarial_workload("spike", 1000, seed=0, base=1e-4, peak=1e-2)
+    values = set(np.unique(wl.costs))
+    assert values <= {1e-4, 1e-2}
+    n_spikes = int(np.sum(wl.costs == 1e-2))
+    assert 1 <= n_spikes <= 1000 // 50 + 1
+    # the forced tail straggler: at least one spike in the last tenth
+    assert np.any(wl.costs[900:] == 1e-2)
+
+
+def test_ramp_structure():
+    wl = adversarial_workload("ramp", 1000, seed=0, base=1e-4, peak=1e-2)
+    # the phase flip: the expensive region sits mid-loop, both ends cheap
+    assert wl.costs[:50].mean() < wl.costs[450:550].mean()
+    assert wl.costs[-50:].mean() < wl.costs[450:550].mean()
+    # jitter is bounded to +-10% of the nominal ramp
+    assert wl.costs.max() <= 1e-2 * 1.1 + 1e-12
+
+
+def test_bimodal_structure():
+    wl = adversarial_workload("bimodal", 1000, seed=0, base=1e-4, peak=1e-2)
+    values = set(np.unique(wl.costs))
+    assert values == {1e-4, 1e-2}
+    # contiguous blocks: far fewer level changes than iterations
+    changes = int(np.sum(wl.costs[1:] != wl.costs[:-1]))
+    assert 1 <= changes < 200
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="unknown adversarial kind"):
+        adversarial_workload("zigzag", 100)
+    with pytest.raises(ValueError, match="n >= 1"):
+        adversarial_workload("spike", 0)
+    with pytest.raises(ValueError, match="base <= peak"):
+        adversarial_workload("spike", 100, base=2.0, peak=1.0)
+
+
+@pytest.mark.parametrize("kind", ADVERSARIAL_KINDS)
+def test_round_trips_through_trace_files(kind, tmp_path):
+    wl = adversarial_workload(kind, 300, seed=7)
+    path = save_trace(wl, tmp_path / f"{kind}.npz")
+    loaded = load_trace(path)
+    assert np.array_equal(loaded.costs, wl.costs)
+    assert loaded.meta["kind"] == kind
+    assert loaded.meta["seed"] == 7
+
+
+@pytest.mark.parametrize("kind", ADVERSARIAL_KINDS)
+def test_drives_a_full_hierarchical_run(kind):
+    wl = adversarial_workload(kind, 600, seed=1)
+    result = run_hierarchical(
+        wl,
+        homogeneous(2, 4),
+        inter="GSS",
+        intra="ADAPT[ss,fac2,tss]",
+        approach="mpi+mpi",
+        ppn=4,
+        seed=0,
+    )
+    verify_schedule(result.subchunks, wl.n)
+    assert result.parallel_time > 0

@@ -18,8 +18,13 @@ from repro.cluster.machine import minihpc
 from repro.core.chunking import verify_schedule
 from repro.workloads import Workload
 
-#: deterministic, profile-free techniques dCC can flatten
-DETERMINISTIC = ["STATIC", "SS", "GSS", "TSS", "FAC2", "mFSC", "TFSS"]
+#: deterministic, profile-free techniques dCC can flatten — including
+#: the staged roster additions and seeded RND (its schedule is a pure
+#: function of the spec, so every rank materialises the same sequence)
+DETERMINISTIC = [
+    "STATIC", "SS", "GSS", "TSS", "FAC2", "mFSC", "TFSS",
+    "FISS", "VISS", "RND",
+]
 
 workloads = st.builds(
     lambda costs: Workload("prop", np.asarray(costs)),
@@ -97,7 +102,15 @@ def test_dcc_counter_accounting():
 # ---------------------------------------------------------------------------
 # validation and the dcc=True knob
 # ---------------------------------------------------------------------------
-@pytest.mark.parametrize("technique", ["ADAPT", "AWF-B", "AF", "WF"])
+@pytest.mark.parametrize(
+    "technique",
+    [
+        "ADAPT", "AWF-B", "AF", "WF",
+        # roster additions that need runtime feedback: TAP estimates
+        # (mu, sigma) online; configured ladders are still selectors
+        "TAP", "ADAPT[ss,fac2]", "ADAPT[ss,fac2,gss,tss,dwell=2]",
+    ],
+)
 def test_dcc_rejects_adaptive_and_pe_dependent(technique):
     wl = Workload("adapt", np.full(100, 1e-4))
     kwargs = {}
@@ -106,6 +119,19 @@ def test_dcc_rejects_adaptive_and_pe_dependent(technique):
     with pytest.raises(ValueError, match="dcc"):
         run_hierarchical(wl, minihpc(2, 4), inter="GSS", intra=technique,
                          approach="dcc", ppn=4, **kwargs)
+
+
+def test_dcc_flattens_roster_newcomers_to_mpi_mpi_chunk_sets():
+    """FISS/VISS/seeded-RND stacks flatten and match mpi+mpi exactly."""
+    wl = Workload("roster", np.full(700, 1e-4))
+    cluster = minihpc(2, 4)
+    for stack in ("FISS+SS", "VISS+GSS", "RND+FAC2", "GSS+RND"):
+        dcc = run_hierarchical(wl, cluster, inter=stack, approach="dcc",
+                               ppn=4, seed=3)
+        mpi = run_hierarchical(wl, cluster, inter=stack, approach="mpi+mpi",
+                               ppn=4, seed=3)
+        verify_schedule(dcc.subchunks, wl.n)
+        assert chunk_set(dcc) == chunk_set(mpi), stack
 
 
 def test_dcc_rejects_stacks_deeper_than_machine_tiers():
@@ -212,6 +238,35 @@ def test_cell_key_discriminates_dcc():
                     dcc=True) != base
     assert cell_key(fp, cluster, "mpi+mpi", "GSS", "SS", 2, 4, 0,
                     dcc=False) == base
+
+
+def test_cell_key_discriminates_v6_roster_fields():
+    """v6 keys: ladder spellings are distinct cache cells, and the
+    format version itself moved past the pre-roster caches."""
+    from repro.experiments.parallel import (
+        CACHE_FORMAT_VERSION,
+        cell_key,
+        workload_fingerprint,
+    )
+
+    assert CACHE_FORMAT_VERSION == 6
+    wl = Workload("keys6", np.full(100, 1e-4))
+    fp = workload_fingerprint(wl)
+    cluster = minihpc(2, 4)
+    keys = {
+        cell_key(fp, cluster, "mpi+mpi", "GSS", intra, 2, 4, 0)
+        for intra in (
+            "ADAPT",
+            "ADAPT[ss,fac2]",
+            "ADAPT[ss,fac2,dwell=2]",
+            "ADAPT[ss,fac2,gss,tss]",
+            "FISS",
+            "VISS",
+            "RND",
+            "TAP",
+        )
+    }
+    assert len(keys) == 8
 
 
 def test_grid_runner_dcc_sweep(tmp_path):

@@ -16,7 +16,7 @@ from repro.core.techniques import TECHNIQUES
 
 DETERMINISTIC = sorted(
     name for name, t in TECHNIQUES.items()
-    if not t.pe_dependent and not t.adaptive and name != "RND"
+    if not t.pe_dependent and not t.adaptive
 )
 ALL = sorted(TECHNIQUES)
 
@@ -139,7 +139,7 @@ def test_wf_covers_under_arbitrary_weights(n, p, raw):
 @given(n=sizes, p=pes, seed=st.integers(min_value=0, max_value=2**31))
 @settings(max_examples=150, deadline=None)
 def test_rnd_covers_for_any_seed(n, p, seed):
-    calc = get_technique("RND").make(n, p, rng=np.random.default_rng(seed))
+    calc = get_technique("RND").make(n, p, seed=seed)
     verify_schedule(unroll(calc), n)
 
 

@@ -272,10 +272,27 @@ def test_tap_smaller_than_gss():
     """Tapering subtracts a variance margin from the GSS chunk."""
     n, p = 10000, 8
     prof = IterationProfile(mu=1.0, sigma=0.5)
-    tap = get_technique("TAP").make(n, p, profile=prof).sequence()
-    gss = make_calc("GSS", n, p).sequence()
-    assert tap[0] <= gss[0]
-    assert sum(tap) == n
+    tap = get_technique("TAP").make(n, p, profile=prof)
+    gss = make_calc("GSS", n, p)
+    assert tap.size_at(0) < gss.size_at(0)
+    # size_at consumes work (scheduled-count protocol) — unroll fresh
+    fresh = get_technique("TAP").make(n, p, profile=prof)
+    verify_schedule(unroll(fresh), n)
+
+
+def test_tap_estimates_variance_at_runtime():
+    """TAP's margin follows record() feedback: reporting highly variable
+    iteration times shrinks later chunks below the zero-variance run."""
+    n, p = 100000, 8
+    noisy = get_technique("TAP").make(n, p)
+    flat = get_technique("TAP").make(n, p)
+    for step, times in ((0, 1e-4), (1, 9e-3)):
+        size = noisy.size_at(step)
+        noisy.record(0, size, compute_time=times * size)
+        size_f = flat.size_at(step)
+        flat.record(0, size_f, compute_time=1e-4 * size_f)
+    assert noisy.cov > flat.cov == 0.0
+    assert noisy.size_at(2) < flat.size_at(2)
 
 
 def test_wf_respects_weights():
@@ -369,14 +386,29 @@ def test_af_high_variance_gives_smaller_chunks():
 
 def test_rnd_is_seeded_reproducible_and_bounded():
     n, p = 10000, 4
-    a = get_technique("RND").make(n, p, rng=np.random.default_rng(42))
-    b = get_technique("RND").make(n, p, rng=np.random.default_rng(42))
-    seq_a = [a.size_at(i) for i in range(10)]
-    seq_b = [b.size_at(i) for i in range(10)]
-    assert seq_a == seq_b
+    a = get_technique("RND").make(n, p, seed=42)
+    b = get_technique("RND").make(n, p, seed=42)
+    assert a.sequence() == b.sequence()
     low = max(1, n // (100 * p))
     high = math.ceil(n / (2 * p))
-    assert all(low <= s <= high for s in seq_a)
+    # every chunk except a possibly clipped tail is within the bounds
+    assert all(low <= s <= high for s in a.sequence()[:-1])
+    assert sum(a.sequence()) == n
+
+
+def test_rnd_is_deterministic_given_the_spec():
+    """The sequence derives from (n, p, seed) alone: a runtime rng
+    argument is ignored, and different seeds give different sequences."""
+    n, p = 10000, 4
+    base = get_technique("RND").make(n, p)
+    with_rng = get_technique("RND").make(n, p, rng=np.random.default_rng(99))
+    assert base.deterministic and with_rng.deterministic
+    assert base.sequence() == with_rng.sequence()
+    other_seed = get_technique("RND").make(n, p, seed=7)
+    assert other_seed.sequence() != base.sequence()
+    # start_at/step_of work like any deterministic technique (dCC path)
+    assert base.start_at(0) == 0
+    assert base.step_of(base.sequence()[0]) == 1
 
 
 # ---------------------------------------------------------------------------
