@@ -1,0 +1,192 @@
+"""Load-generate the sweep job server and record cross-request dedup.
+
+The "heavy traffic from many users" benchmark behind the PR-9 service:
+``N`` concurrent clients POST overlapping sweep grids at one server
+sharing a single on-disk cell cache.  Three phases:
+
+* **cold_identical** — every client posts the *same* grid against an
+  empty cache.  The in-flight registry must collapse the duplicates:
+  unique cells simulate exactly once, everything else attaches.
+* **warm_identical** — the same grid again; the cache answers all of it.
+* **cold_overlapping** — each client shares a common core grid but adds
+  a private technique column, mixing dedup, cache hits and fresh work.
+
+Recorded per phase: end-to-end wall time, cells/s delivered, the
+simulated/dedup/cache split from ``GET /metrics``, and the dedup ratio
+(requested cells that did *not* trigger a simulation).  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --out BENCH_PR9.json
+
+Numbers are machine-dependent; compare snapshots taken on one machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import shutil
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from typing import Any, Dict, List
+
+
+def post_sweep(base_url: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+    """POST one sweep, drain the NDJSON stream, return the trailer."""
+    request = urllib.request.Request(
+        f"{base_url}/sweep",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    trailer: Dict[str, Any] = {}
+    with urllib.request.urlopen(request) as response:
+        for line in response:
+            trailer = json.loads(line)
+    if not trailer.get("done"):
+        raise RuntimeError(f"sweep stream ended without trailer: {trailer}")
+    if trailer.get("errors"):
+        raise RuntimeError(f"sweep reported {trailer['errors']} cell error(s)")
+    return trailer
+
+
+def get_metrics(base_url: str) -> Dict[str, Any]:
+    with urllib.request.urlopen(f"{base_url}/metrics") as response:
+        return json.loads(response.read())
+
+
+def run_clients(base_url: str, payloads: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fire one thread per payload simultaneously; aggregate trailers."""
+    barrier = threading.Barrier(len(payloads))
+    trailers: List[Dict[str, Any]] = [None] * len(payloads)  # type: ignore[list-item]
+    failures: List[BaseException] = []
+
+    def client(index: int) -> None:
+        try:
+            barrier.wait(timeout=30)
+            trailers[index] = post_sweep(base_url, payloads[index])
+        except BaseException as error:
+            failures.append(error)
+
+    threads = [
+        threading.Thread(target=client, args=(index,)) for index in range(len(payloads))
+    ]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - t0
+    if failures:
+        raise failures[0]
+    cells = sum(trailer["cells"] for trailer in trailers)
+    sources = {"cache": 0, "inflight": 0, "simulated": 0}
+    for trailer in trailers:
+        for source, count in trailer["sources"].items():
+            sources[source] += count
+    return {
+        "clients": len(payloads),
+        "cells_requested": cells,
+        "wall_s": wall,
+        "cells_per_s": cells / wall if wall > 0 else 0.0,
+        "source_cache": sources["cache"],
+        "source_inflight": sources["inflight"],
+        "source_simulated": sources["simulated"],
+        "dedup_ratio": (cells - sources["simulated"]) / cells if cells else 0.0,
+    }
+
+
+def sweep_payload(intras: List[str], scale: str) -> Dict[str, Any]:
+    return {
+        "workload": {"app": "mandelbrot", "scale": scale},
+        "cluster": {"ppn": 4},
+        "inter": "GSS",
+        "intras": intras,
+        "approaches": ["mpi+mpi"],
+        "node_counts": [2, 4],
+        "seed": 0,
+    }
+
+
+def collect(clients: int, scale: str) -> Dict[str, Dict[str, Any]]:
+    from repro.service import create_server
+
+    cache_dir = tempfile.mkdtemp(prefix="bench-service-cache-")
+    server = create_server(port=0, jobs=4, cache_dir=cache_dir, quiet=True)
+    host, port = server.server_address[:2]
+    base_url = f"http://{host}:{port}"
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+
+    core = ["STATIC", "SS", "GSS", "FAC2"]
+    private = ["TSS", "mFSC", "FISS", "VISS", "TFSS", "GSS+STATIC"]
+    results: Dict[str, Dict[str, Any]] = {}
+    try:
+        identical = [sweep_payload(core, scale) for _ in range(clients)]
+        results["service_cold_identical"] = run_clients(base_url, identical)
+        results["service_cold_identical"]["unique_cells"] = len(core) * 2
+
+        results["service_warm_identical"] = run_clients(base_url, identical)
+
+        overlapping = [
+            sweep_payload(core + [private[index % len(private)]], scale)
+            for index in range(clients)
+        ]
+        results["service_cold_overlapping"] = run_clients(base_url, overlapping)
+
+        metrics = get_metrics(base_url)
+        results["service_server_totals"] = {
+            "simulated": metrics["simulated"],
+            "completed": metrics["completed"],
+            "dedup_hits": metrics["dedup_hits"],
+            "cache_hits": metrics["cache_hits"],
+            "errors": metrics["errors"],
+            "cache_disk_hits": metrics["cache"]["hits"],
+            "cache_disk_misses": metrics["cache"]["misses"],
+        }
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.executor.shutdown()
+        thread.join(timeout=10)
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_PR9.json")
+    parser.add_argument("--clients", type=int, default=6,
+                        help="concurrent sweep clients (default 6)")
+    parser.add_argument("--scale", default="tiny",
+                        choices=["tiny", "quick", "default", "full"])
+    parser.add_argument("--label", default="PR9: sweep-as-a-service")
+    args = parser.parse_args()
+
+    results = collect(args.clients, args.scale)
+    cold = results["service_cold_identical"]
+    if cold["source_simulated"] != cold["unique_cells"]:
+        raise SystemExit(
+            f"dedup broken: {cold['source_simulated']} simulations for "
+            f"{cold['unique_cells']} unique cells"
+        )
+    payload = {
+        "label": args.label,
+        "schema": 1,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "benchmarks": results,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    for name, stats in results.items():
+        print(f"  {name}: {json.dumps(stats, sort_keys=True)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

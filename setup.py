@@ -7,6 +7,16 @@ environments whose setuptools/pip lack PEP-660 editable-wheel support
     pip install -e . --no-build-isolation --no-use-pep517
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+            "repro-serve=repro.service.server:main",
+        ],
+    },
+)

@@ -42,6 +42,11 @@ Examples::
               # global counter and resolves its chunk locally (no
               # coordinator, no queues); --dcc reroutes an mpi+mpi
               # stack the same way
+    repro serve --port 8752 --jobs 4 --cache-dir .cellcache
+              # sweep-as-a-service: accept sweep specs as JSON
+              # (POST /sweep), dedupe concurrent duplicates against the
+              # shared cell cache, stream per-cell results as NDJSON
+              # (see docs/SERVICE.md)
 """
 
 from __future__ import annotations
@@ -215,6 +220,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import main as serve_main
+
+    forwarded: List[str] = ["--host", args.host, "--port", str(args.port),
+                            "--jobs", str(args.jobs)]
+    if args.cache_dir is not None:
+        forwarded += ["--cache-dir", args.cache_dir]
+    if args.quiet:
+        forwarded += ["--quiet"]
+    return serve_main(forwarded)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -334,6 +351,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gantt", action="store_true",
                    help="render an ASCII Gantt chart of the execution")
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("serve", help="run the sweep job server "
+                                     "(POST /sweep over the shared cell "
+                                     "cache; see docs/SERVICE.md)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8752,
+                   help="TCP port (default 8752; 0 = ephemeral)")
+    p.add_argument("--jobs", type=int, default=2,
+                   help="simulation worker processes")
+    p.add_argument("--cache-dir", default=None,
+                   help="shared content-addressed cell cache directory")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-request access logging")
+    p.set_defaults(fn=_cmd_serve)
 
     return parser
 

@@ -31,6 +31,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
@@ -89,6 +90,10 @@ def workload_fingerprint(workload: Workload) -> str:
     digest = hashlib.sha256()
     digest.update(workload.name.encode("utf-8"))
     digest.update(str(workload.n).encode("ascii"))
+    # The dtype is part of the identity: byte-identical buffers of
+    # different dtypes (an int64 array vs its float64 reinterpretation)
+    # describe different cost vectors and must not share a key.
+    digest.update(workload.costs.dtype.str.encode("ascii"))
     digest.update(workload.costs.tobytes())
     return digest.hexdigest()
 
@@ -172,9 +177,23 @@ def cell_key(
 
 
 class CellCache:
-    """Directory of ``<key>.json`` files holding serialized Cells."""
+    """Directory of ``<key>.json`` files holding serialized Cells.
 
-    def __init__(self, root: str):
+    The cache is safe to share between processes (writers publish via
+    ``mkstemp`` + atomic ``os.replace``; readers only ever see complete
+    files) and between threads of one process: the ``hits``/``misses``/
+    ``quarantined``/``reaped`` statistics are guarded by a single lock
+    so a threaded server can hammer one instance from many handlers
+    without losing counts.  The read path itself stays lock-free — the
+    lock covers only the counter increments, never the file I/O.
+    """
+
+    #: ``*.tmp`` files older than this (seconds) are leftovers of a
+    #: writer that died between ``mkstemp`` and ``os.replace``; younger
+    #: ones may belong to an in-flight racing sweep and are never touched
+    REAP_AGE_S = 3600.0
+
+    def __init__(self, root: str, reap_age_s: float = REAP_AGE_S):
         self.root = root
         if os.path.exists(root) and not os.path.isdir(root):
             raise NotADirectoryError(
@@ -185,6 +204,44 @@ class CellCache:
         self.misses = 0
         #: corrupt or stale-format files moved aside (never re-read)
         self.quarantined = 0
+        #: orphaned temp files deleted on init (crashed writers)
+        self.reaped = 0
+        self._stats_lock = threading.Lock()
+        self._reap_stale_tmp(reap_age_s)
+
+    def _reap_stale_tmp(self, reap_age_s: float) -> None:
+        """Delete temp files orphaned by writers that died mid-``put``.
+
+        A process killed between ``mkstemp`` and ``os.replace`` leaves
+        its ``*.tmp`` behind forever.  Age-gating the reap means a slow
+        writer racing this init keeps its in-flight file: anything
+        younger than ``reap_age_s`` is presumed live.
+        """
+        cutoff = time.time() - reap_age_s
+        for name in os.listdir(self.root):
+            if not name.endswith(".tmp"):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                if os.path.getmtime(path) < cutoff:
+                    os.unlink(path)
+                    self.reaped += 1
+            except OSError:
+                pass  # vanished under us (racing reaper) — fine
+
+    def _count(self, stat: str) -> None:
+        with self._stats_lock:
+            setattr(self, stat, getattr(self, stat) + 1)
+
+    def stats(self) -> Dict[str, int]:
+        """Consistent snapshot of the hit/miss/quarantine/reap counters."""
+        with self._stats_lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "quarantined": self.quarantined,
+                "reaped": self.reaped,
+            }
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, f"{key}.json")
@@ -195,7 +252,7 @@ class CellCache:
         path = self._path(key)
         try:
             os.replace(path, path + ".corrupt")
-            self.quarantined += 1
+            self._count("quarantined")
         except OSError:
             pass  # already gone (racing sweep) — nothing to preserve
 
@@ -206,18 +263,18 @@ class CellCache:
             with open(self._path(key), "r", encoding="utf-8") as fh:
                 payload = json.load(fh)
         except FileNotFoundError:
-            self.misses += 1
+            self._count("misses")
             return None
         except (json.JSONDecodeError, UnicodeDecodeError, OSError):
             # truncated write, disk hiccup, or hand-edited garbage
             self._quarantine(key)
-            self.misses += 1
+            self._count("misses")
             return None
         if not isinstance(payload, dict) or payload.get("version") != CACHE_FORMAT_VERSION:
             # stale format: quarantine rather than delete, so a version
             # rollback can still inspect (but never silently reuse) it
             self._quarantine(key)
-            self.misses += 1
+            self._count("misses")
             return None
         try:
             return_value = Cell.from_dict(payload["cell"])
@@ -225,9 +282,9 @@ class CellCache:
             # schema drift within the same version number (should not
             # happen, but a corrupt payload must not kill the sweep)
             self._quarantine(key)
-            self.misses += 1
+            self._count("misses")
             return None
-        self.hits += 1
+        self._count("hits")
         return return_value
 
     def put(self, key: str, cell: "Cell") -> None:

@@ -1,0 +1,8 @@
+"""``python -m repro.service`` — the ``repro-serve`` entry point."""
+
+import sys
+
+from repro.service.server import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -138,6 +138,29 @@ def test_workload_fingerprint_tracks_costs():
     assert workload_fingerprint(a) != workload_fingerprint(d)
 
 
+def test_workload_fingerprint_tracks_dtype():
+    """Byte-identical buffers of different dtypes are different cost
+    vectors and must not collide under one cache key (PR-9 bugfix)."""
+
+    class _CostsOnly:
+        # duck-typed stand-in: Workload itself normalises to float64,
+        # but workload_fingerprint's contract is over any (name, n,
+        # costs) triple
+        def __init__(self, costs):
+            self.name, self.costs = "w", costs
+
+        @property
+        def n(self):
+            return int(self.costs.size)
+
+    floats = np.array([1.0, 2.0, 3.0], dtype=np.float64)
+    reinterpreted = floats.view(np.int64)  # same bytes, different dtype
+    assert floats.tobytes() == reinterpreted.tobytes()
+    assert workload_fingerprint(_CostsOnly(floats)) != workload_fingerprint(
+        _CostsOnly(reinterpreted)
+    )
+
+
 def test_cell_key_distinguishes_every_input(workload):
     fp = workload_fingerprint(workload)
     cluster = minihpc(2, 4)
