@@ -64,6 +64,7 @@ def run_hierarchical(
     faults: Union[str, Any, None] = None,
     max_sim_time: Optional[float] = None,
     dcc: bool = False,
+    engine: str = "scalar",
     **spec_kwargs: Any,
 ) -> "RunResult":
     """Run one hierarchical DLS combination and return its result.
@@ -125,6 +126,16 @@ def run_hierarchical(
         chunk schedule, but dispensed from the single global counter
         instead of the hierarchical queues (equivalent to
         ``approach="dcc"``; only valid with the mpi+mpi approach).
+    engine:
+        Event-execution strategy: ``"scalar"`` (default — one simulated
+        process per rank) or ``"cohort"`` (the rank-aggregated
+        macro-event engine of :mod:`repro.sim.cohorts`, which groups
+        rank-symmetric events into cohorts for large rank counts).
+        Cohort results are bit-exact with the scalar engine — eligible
+        deterministic configurations replay the same event stream in
+        condensed form (only ``RunResult.n_events`` counts macro events
+        instead of scalar events), and everything else transparently
+        falls back to the scalar path whole-run.
 
     Returns
     -------
@@ -163,6 +174,7 @@ def run_hierarchical(
         placement=placement,
         faults=faults,
         max_sim_time=max_sim_time,
+        engine=engine,
     )
 
 

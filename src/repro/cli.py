@@ -147,7 +147,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.api import run_hierarchical
     from repro.cluster.costs import COST_PRESETS
     from repro.cluster.machine import minihpc
+    from repro.cluster.noise import HARSH_NOISE, MILD_NOISE, NO_NOISE
     from repro.experiments.workloads import figure_workload
+
+    noise = {"mild": MILD_NOISE, "none": NO_NOISE, "harsh": HARSH_NOISE}[
+        args.noise
+    ]
 
     workload = figure_workload(args.app, args.scale or "quick")
     if args.techniques is not None:
@@ -182,6 +187,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         faults=args.faults,
         max_sim_time=args.max_sim_time,
         dcc=args.dcc,
+        engine=args.engine,
+        noise=noise,
     )
     print(result.describe())
     print(result.metrics.summary())
@@ -298,6 +305,20 @@ def build_parser() -> argparse.ArgumentParser:
                         "(same composed schedule, dispensed from the "
                         "single global counter; shorthand for "
                         "--approach dcc)")
+    p.add_argument("--engine", default="scalar",
+                   choices=["scalar", "cohort"],
+                   help="execution engine: scalar replays every rank as "
+                        "its own coroutine; cohort batches rank-symmetric "
+                        "events into aggregated macro-events (bit-identical "
+                        "results on eligible deterministic cells, orders of "
+                        "magnitude faster at high rank counts; ineligible "
+                        "cells transparently fall back to scalar)")
+    p.add_argument("--noise", default="mild",
+                   choices=["mild", "none", "harsh"],
+                   help="execution-time noise model (default mild: the "
+                        "paper's calibrated scatter; none makes the run "
+                        "fully deterministic, which is what the cohort "
+                        "engine's fast path requires)")
     p.add_argument("--inter", default="GSS")
     p.add_argument("--intra", default="STATIC")
     p.add_argument("--techniques", default=None, metavar="W+X[+Y[+Z]]",

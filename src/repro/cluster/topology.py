@@ -58,6 +58,41 @@ class Placement:
         """Number of placed ranks (the world size)."""
         return len(self.slots)
 
+    def _tier_index(self):
+        """Rank groups per tier, built once in O(ranks).
+
+        Every group query used to rescan ``slots`` (O(ranks) per call),
+        which made constructing an ``MpiWorld`` — one ``local_rank`` /
+        ``socket_rank`` / ``numa_rank`` triple per rank — quadratic in
+        the world size and the dominant cost at 10^4-10^6 ranks.  The
+        index maps each tier coordinate to its sorted rank list plus
+        each rank to its position inside its own group, so the public
+        queries return exactly what the scans returned, in O(group) or
+        O(1).
+        """
+        cache = self.__dict__.get("_tier_cache")
+        if cache is None:
+            by_node: dict = {}
+            by_socket: dict = {}
+            by_numa: dict = {}
+            for rank, (n, s, m, _) in enumerate(self.slots):
+                by_node.setdefault(n, []).append(rank)
+                by_socket.setdefault((n, s), []).append(rank)
+                by_numa.setdefault((n, s, m), []).append(rank)
+            pos = {
+                "node": {}, "socket": {}, "numa": {},
+            }
+            for groups, key in (
+                (by_node, "node"), (by_socket, "socket"), (by_numa, "numa")
+            ):
+                table = pos[key]
+                for members in groups.values():
+                    for index, rank in enumerate(members):
+                        table[rank] = index
+            cache = (by_node, by_socket, by_numa, pos)
+            object.__setattr__(self, "_tier_cache", cache)
+        return cache
+
     def node_of(self, rank: int) -> int:
         """Node index hosting ``rank``."""
         return self.slots[rank][0]
@@ -76,32 +111,30 @@ class Placement:
 
     def ranks_on_node(self, node: int) -> List[int]:
         """Ranks bound to one node (the node-level communicator), sorted."""
-        return [r for r, (n, _, _, _) in enumerate(self.slots) if n == node]
+        return list(self._tier_index()[0].get(node, ()))
 
     def ranks_on_socket(self, node: int, socket: int) -> List[int]:
         """Ranks bound to one socket (the socket-level communicator)."""
-        return [
-            r
-            for r, (n, s, _, _) in enumerate(self.slots)
-            if n == node and s == socket
-        ]
+        return list(self._tier_index()[1].get((node, socket), ()))
 
     def ranks_on_numa(self, node: int, socket: int, numa: int) -> List[int]:
         """Ranks bound to one NUMA domain (the NUMA-level communicator)."""
-        return [
-            r
-            for r, (n, s, m, _) in enumerate(self.slots)
-            if n == node and s == socket and m == numa
-        ]
+        return list(self._tier_index()[2].get((node, socket, numa), ()))
 
     def sockets_on_node(self, node: int) -> List[int]:
         """Socket indices of ``node`` that hold at least one rank, sorted."""
-        return sorted({s for n, s, _, _ in self.slots if n == node})
+        return sorted(
+            {s for (n, s) in self._tier_index()[1] if n == node}
+        )
 
     def numas_on_socket(self, node: int, socket: int) -> List[int]:
         """NUMA indices of one socket that hold at least one rank, sorted."""
         return sorted(
-            {m for n, s, m, _ in self.slots if n == node and s == socket}
+            {
+                m
+                for (n, s, m) in self._tier_index()[2]
+                if n == node and s == socket
+            }
         )
 
     def node_leaders(self) -> List[int]:
@@ -113,20 +146,15 @@ class Placement:
 
     def local_rank(self, rank: int) -> int:
         """Rank's index among the ranks of its own node (shared-memory comm)."""
-        node = self.node_of(rank)
-        return self.ranks_on_node(node).index(rank)
+        return self._tier_index()[3]["node"][rank]
 
     def socket_rank(self, rank: int) -> int:
         """Rank's index among the ranks of its own socket."""
-        node, socket = self.node_of(rank), self.socket_of(rank)
-        return self.ranks_on_socket(node, socket).index(rank)
+        return self._tier_index()[3]["socket"][rank]
 
     def numa_rank(self, rank: int) -> int:
         """Rank's index among the ranks of its own NUMA domain."""
-        node, socket, numa = (
-            self.node_of(rank), self.socket_of(rank), self.numa_of(rank)
-        )
-        return self.ranks_on_numa(node, socket, numa).index(rank)
+        return self._tier_index()[3]["numa"][rank]
 
 
 def block_placement(cluster: ClusterSpec, ppn: int) -> Placement:

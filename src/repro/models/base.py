@@ -113,8 +113,22 @@ class ExecutionModel:
         placement: Any = "leader",
         faults: Optional[FaultModel] = None,
         max_sim_time: Optional[float] = None,
+        engine: str = "scalar",
     ) -> RunResult:
-        """Simulate one loop execution; see :func:`repro.api.run_hierarchical`."""
+        """Simulate one loop execution; see :func:`repro.api.run_hierarchical`.
+
+        ``engine`` selects the event-execution strategy: ``"scalar"``
+        (the classic one-process-per-rank discrete-event loop) or
+        ``"cohort"`` (the rank-aggregated macro-event engine of
+        :mod:`repro.sim.cohorts`, which is bit-exact on eligible
+        deterministic configurations and falls back to the scalar path
+        whole-run otherwise).
+        """
+        engine_name = str(engine).strip().lower()
+        if engine_name not in ("scalar", "cohort"):
+            raise ValueError(
+                f"unknown engine {engine!r}; choose 'scalar' or 'cohort'"
+            )
         if (
             not self.supports_placement
             and not (isinstance(placement, str) and placement == "leader")
@@ -144,7 +158,12 @@ class ExecutionModel:
             faults=faults,
             max_sim_time=max_sim_time,
         )
-        self._execute(run)
+        if engine_name == "cohort":
+            from repro.sim.cohorts import execute_cohort
+
+            execute_cohort(self, run)
+        else:
+            self._execute(run)
         return run.finish(verify=verify)
 
     # subclasses implement: build rank mains, launch, record stats ------
@@ -414,6 +433,24 @@ class GlobalQueue:
         #: None (or an inactive fault model) leaves every path untouched
         self._run = run
 
+    def resolve_step(self, step: int) -> "Tuple[int, int, int]":
+        """Resolve a fetched ``step`` to ``(step, start, size)`` locally.
+
+        The deterministic dispensing rule shared by the scalar and
+        cohort engines: size and start derive from the step alone, and
+        a calculator materialised for a larger loop than this queue
+        serves never hands out iterations beyond ``n``.  ``size == 0``
+        signals exhaustion (with ``start == n``).
+        """
+        size = self.calc.size_at(step)
+        if size <= 0:
+            return (step, self.n, 0)
+        start = self.calc.start_at(step)
+        size = min(size, self.n - start)
+        if size <= 0:
+            return (step, self.n, 0)
+        return (step, start, size)
+
     def next_chunk(self, ctx: RankCtx, pe: int):
         """Obtain the next chunk for ``pe``; returns (step, start, size)
         with size == 0 when the loop is exhausted (generator)."""
@@ -453,17 +490,7 @@ class GlobalQueue:
             else:
                 step = yield from self.window.fetch_and_op(ctx, "step", 1)
             yield Overhead(chunk_calc_cost)
-            size = self.calc.size_at(step)
-            if size <= 0:
-                return (step, self.n, 0)
-            start = self.calc.start_at(step)
-            # The calculator may have been materialised for a larger
-            # loop than this queue serves (hierarchical refills, dCC
-            # segment reuse): never hand out iterations beyond ``n``.
-            size = min(size, self.n - start)
-            if size <= 0:
-                return (step, self.n, 0)
-            return (step, start, size)
+            return self.resolve_step(step)
         # adaptive: step counter + scheduled-count protocol
         step = yield from self.window.fetch_and_op(ctx, "step", 1)
         yield Overhead(chunk_calc_cost)

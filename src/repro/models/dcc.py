@@ -319,19 +319,26 @@ class DccModel(ExecutionModel):
                 n_chunks=chunk_counts.get(ctx.rank, 0),
                 n_iterations=iter_counts.get(ctx.rank, 0),
             )
-        run.counters["dcc_steps"] = n_steps
-        run.counters["global_atomics"] = window.n_atomics
-        run.counters["remote_atomics"] = window.n_remote_atomics
-        # placement accounting: the counter window is the only shared
-        # object, so the priced queue traffic is exactly its atomic
-        # service time (no tier locks exist to add penalties).
-        run.counters["lock_penalty_s"] = 0.0
-        run.counters["global_atomic_time_s"] = window.total_atomic_time_s
-        run.counters["placement_cost_s"] = window.total_atomic_time_s
-        run.counters["placement"] = (
-            run.placement if isinstance(run.placement, str) else "explicit"
-        )
-        run.counters["window_homes"] = {"global": window.host_rank}
-        if plan is not None:
-            run.counters["placement_moved"] = plan.moved
-            run.counters["placement_objective_s"] = plan.objective
+        collect_dcc_counters(run, window, n_steps, plan)
+
+
+def collect_dcc_counters(run: _Run, window, n_steps: int, plan=None) -> None:
+    """Fill ``run.counters`` for a dCC run (shared scalar/cohort tail).
+
+    Placement accounting: the counter window is the only shared
+    object, so the priced queue traffic is exactly its atomic
+    service time (no tier locks exist to add penalties).
+    """
+    run.counters["dcc_steps"] = n_steps
+    run.counters["global_atomics"] = window.n_atomics
+    run.counters["remote_atomics"] = window.n_remote_atomics
+    run.counters["lock_penalty_s"] = 0.0
+    run.counters["global_atomic_time_s"] = window.total_atomic_time_s
+    run.counters["placement_cost_s"] = window.total_atomic_time_s
+    run.counters["placement"] = (
+        run.placement if isinstance(run.placement, str) else "explicit"
+    )
+    run.counters["window_homes"] = {"global": window.host_rank}
+    if plan is not None:
+        run.counters["placement_moved"] = plan.moved
+        run.counters["placement_objective_s"] = plan.objective

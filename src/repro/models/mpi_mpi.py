@@ -184,6 +184,91 @@ class _LocalQueue:
         return None
 
 
+def _queue_key_order(key) -> Tuple:
+    """Canonical sort key for tier-queue keys (ints and tuples mix)."""
+    return key if isinstance(key, tuple) else (key,)
+
+
+def sorted_queue_items(local_queues: Dict[object, _LocalQueue]):
+    """Tier queues in canonical (node, socket, numa) order.
+
+    Counter accrual must not depend on dict insertion order (which
+    follows rank/window registration order), so every reduction over
+    the queues walks this canonical ordering.  For the historical
+    construction order the two coincide, keeping all sums bit-exact.
+    """
+    return sorted(local_queues.items(), key=lambda item: _queue_key_order(item[0]))
+
+
+def collect_queue_counters(
+    run: _Run,
+    queue: GlobalQueue,
+    local_queues: Dict[object, _LocalQueue],
+    plan=None,
+) -> None:
+    """Fill ``run.counters`` from the global queue + tier windows.
+
+    Shared by the scalar and cohort engines so both report identical
+    counters: atomics, lock contention, placement accounting
+    (``lock_penalty_s`` + ``global_atomic_time_s`` — the
+    distance-priced share of the queue traffic), window homes, and the
+    ADAPT selector ledgers.  All floating-point reductions walk the
+    canonical queue order of :func:`sorted_queue_items`, independent of
+    event-ID tie-breaks and registration order.
+    """
+    queues = sorted_queue_items(local_queues)
+    run.counters["global_atomics"] = queue.window.n_atomics
+    run.counters["remote_atomics"] = queue.window.n_remote_atomics
+    run.counters["lock_stats"] = {
+        key: lq.shm.contention_stats() for key, lq in queues
+    }
+    run.counters["total_poll_wait"] = sum(
+        lq.shm.total_poll_wait for _, lq in queues
+    )
+    run.counters["lock_acquisitions"] = sum(
+        lq.shm.n_acquisitions for _, lq in queues
+    )
+    # --- placement accounting: the distance-priced share of the
+    # queue traffic (what choosing window homes can change).
+    # ``lock_penalty_s`` sums the locality penalties actually
+    # charged on every shared window (lock attempts, unlocks,
+    # loads, accesses); ``global_atomic_time_s`` is the full
+    # service time of the global RMA window's atomics (latency +
+    # target processing + penalty).  Their sum is the measured
+    # placement objective reported by the placement sweeps.
+    lock_penalty = sum(lq.shm.total_penalty_s for _, lq in queues)
+    run.counters["lock_penalty_s"] = lock_penalty
+    run.counters["global_atomic_time_s"] = queue.window.total_atomic_time_s
+    run.counters["placement_cost_s"] = (
+        lock_penalty + queue.window.total_atomic_time_s
+    )
+    run.counters["placement"] = (
+        run.placement if isinstance(run.placement, str) else "explicit"
+    )
+    run.counters["window_homes"] = {
+        "global": queue.window.host_rank,
+        **{key: lq.shm.home_rank for key, lq in queues},
+    }
+    if plan is not None:
+        run.counters["placement_moved"] = plan.moved
+        run.counters["placement_objective_s"] = plan.objective
+    # ADAPT selector reporting: every selector instantiated at any
+    # tier (plus a root-level one) contributes its switch ledger
+    adapt_calcs = [
+        calc for _, lq in queues for calc in lq.adaptive_calcs
+    ]
+    if hasattr(queue.calc, "mode_history"):
+        adapt_calcs.append(queue.calc)
+    if adapt_calcs:
+        modes: Dict[str, int] = {}
+        for calc in adapt_calcs:
+            modes[calc.mode] = modes.get(calc.mode, 0) + 1
+        run.counters["adapt_switches"] = sum(
+            calc.switch_count for calc in adapt_calcs
+        )
+        run.counters["adapt_final_modes"] = modes
+
+
 class MpiMpiModel(ExecutionModel):
     """Hierarchical DLS via MPI+MPI (the proposed approach)."""
 
@@ -270,62 +355,10 @@ class MpiMpiModel(ExecutionModel):
             )
         if run.faults_active:
             run.fault_counters["lock_leases_broken"] = sum(
-                lq.shm.n_leases_broken for lq in local_queues.values()
+                lq.shm.n_leases_broken
+                for _, lq in sorted_queue_items(local_queues)
             )
-        run.counters["global_atomics"] = queue.window.n_atomics
-        run.counters["remote_atomics"] = queue.window.n_remote_atomics
-        run.counters["lock_stats"] = {
-            key: lq.shm.contention_stats() for key, lq in local_queues.items()
-        }
-        run.counters["total_poll_wait"] = sum(
-            lq.shm.total_poll_wait for lq in local_queues.values()
-        )
-        run.counters["lock_acquisitions"] = sum(
-            lq.shm.n_acquisitions for lq in local_queues.values()
-        )
-        # --- placement accounting: the distance-priced share of the
-        # queue traffic (what choosing window homes can change).
-        # ``lock_penalty_s`` sums the locality penalties actually
-        # charged on every shared window (lock attempts, unlocks,
-        # loads, accesses); ``global_atomic_time_s`` is the full
-        # service time of the global RMA window's atomics (latency +
-        # target processing + penalty).  Their sum is the measured
-        # placement objective reported by the placement sweeps.
-        lock_penalty = sum(
-            lq.shm.total_penalty_s for lq in local_queues.values()
-        )
-        run.counters["lock_penalty_s"] = lock_penalty
-        run.counters["global_atomic_time_s"] = queue.window.total_atomic_time_s
-        run.counters["placement_cost_s"] = (
-            lock_penalty + queue.window.total_atomic_time_s
-        )
-        run.counters["placement"] = (
-            run.placement if isinstance(run.placement, str) else "explicit"
-        )
-        run.counters["window_homes"] = {
-            "global": queue.window.host_rank,
-            **{key: lq.shm.home_rank for key, lq in local_queues.items()},
-        }
-        if plan is not None:
-            run.counters["placement_moved"] = plan.moved
-            run.counters["placement_objective_s"] = plan.objective
-        # ADAPT selector reporting: every selector instantiated at any
-        # tier (plus a root-level one) contributes its switch ledger
-        adapt_calcs = [
-            calc
-            for lq in local_queues.values()
-            for calc in lq.adaptive_calcs
-        ]
-        if hasattr(queue.calc, "mode_history"):
-            adapt_calcs.append(queue.calc)
-        if adapt_calcs:
-            modes: Dict[str, int] = {}
-            for calc in adapt_calcs:
-                modes[calc.mode] = modes.get(calc.mode, 0) + 1
-            run.counters["adapt_switches"] = sum(
-                calc.switch_count for calc in adapt_calcs
-            )
-            run.counters["adapt_final_modes"] = modes
+        collect_queue_counters(run, queue, local_queues, plan)
 
     # ------------------------------------------------------------------
     def _build_queues(

@@ -675,6 +675,54 @@ class Simulator:
             done.trigger(result)
 
 
+class CohortLane:
+    """Macro-event dispatch lane for the rank-aggregated cohort engine.
+
+    A tiny ordered heap of *macro* events — condensed spans of the
+    scalar event stream, each standing in for a whole chain of per-rank
+    heap events.  Entries order by ``(time, push_time, seq)``:
+
+    * ``time`` — the simulated second the macro's scalar anchor event
+      would land;
+    * ``push_time`` — the simulated second the scalar engine would have
+      *pushed* that anchor entry (the previous yield point).  The
+      scalar heap breaks same-time ties by push order, so carrying the
+      push time reproduces exact tie-breaking — e.g. a lock attempt
+      landing precisely at an unlock's release loses because attempt
+      entries are pushed ``shm_lock_attempt`` before landing while
+      unlock entries are pushed only ``shm_unlock`` before;
+    * ``seq`` — a monotonic sequence assigned at schedule time, which
+      resolves residual ties (structurally symmetric ranks/node groups)
+      in ancestry order, exactly like the scalar engine's sequence
+      numbers inherited from rank spawn order.
+
+    The lane is deliberately engine-agnostic: :mod:`repro.sim.cohorts`
+    interprets the macro codes; this class only owns ordering.
+    """
+
+    __slots__ = ("now", "heap", "_seq")
+
+    def __init__(self):
+        self.now: float = 0.0
+        self.heap: List[Tuple[float, float, int, int, Any]] = []
+        self._seq = count(1)
+
+    def schedule(self, time: float, push_time: float, code: int, payload: Any) -> None:
+        """Enqueue a macro anchored at ``time`` pushed at ``push_time``."""
+        heapq.heappush(
+            self.heap, (time, push_time, next(self._seq), code, payload)
+        )
+
+    def pop(self) -> Tuple[float, float, int, int, Any]:
+        """Pop the next macro in scalar-equivalent order, advancing ``now``."""
+        entry = heapq.heappop(self.heap)
+        self.now = entry[0]
+        return entry
+
+    def __len__(self) -> int:
+        return len(self.heap)
+
+
 def _stable_hash(text: str) -> int:
     """A deterministic 32-bit hash (Python's ``hash`` is salted)."""
     value = 2166136261

@@ -1,0 +1,43 @@
+"""Shared pytest configuration for the test suite.
+
+Registers the ``slow`` marker (tier-2 scaling smokes, excluded from the
+default tier-1 run) and the Hypothesis profiles: on shared CI runners
+the property suites run the ``ci`` profile — no deadline (runner timing
+jitter must not fail a test) and derandomized (the same examples every
+run, so a red build always reproduces locally).
+"""
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile("ci" if os.environ.get("CI") else "dev")
+
+
+def pytest_configure(config):
+    """Register the tier-2 ``slow`` marker."""
+    config.addinivalue_line(
+        "markers",
+        "slow: tier-2 scaling smoke (minutes of wall time); excluded "
+        "from the default run — select with -m slow",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """Keep tier-1 fast: skip ``slow`` tests unless explicitly selected."""
+    if "slow" in (config.getoption("-m") or ""):
+        return
+    skip = pytest.mark.skip(
+        reason="tier-2 slow test; select with -m slow"
+    )
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)

@@ -1,0 +1,91 @@
+"""Counter-accrual determinism (PR-10 satellite).
+
+``RunResult.counters`` holds floating-point reductions over per-tier
+shared windows (``total_poll_wait``, ``lock_penalty_s``,
+``global_atomic_time_s``...).  Floating-point addition is not
+associative, so these sums are only reproducible if the accumulation
+*order* is pinned.  Historically the reductions walked the queue dict
+in insertion order — which follows rank/window registration order and
+would silently change under any registration reshuffle (exactly the
+coupling a batching engine exposes).  The reductions now walk the
+canonical tier order of
+:func:`repro.models.mpi_mpi.sorted_queue_items`; this suite pins that
+contract.
+"""
+
+import pytest
+
+from repro.api import run_hierarchical
+from repro.cluster.machine import homogeneous
+from repro.cluster.noise import NO_NOISE
+from repro.models.mpi_mpi import MpiMpiModel, sorted_queue_items
+from repro.workloads import uniform_workload
+
+
+def _workload():
+    return uniform_workload(160, low=5e-5, high=2e-3, seed=2)
+
+
+def canon(value):
+    """Counters with floats as hex strings (bit-exact comparison)."""
+    if isinstance(value, float):
+        return value.hex()
+    if isinstance(value, dict):
+        return {
+            str(k): canon(v)
+            for k, v in sorted(value.items(), key=lambda i: str(i[0]))
+        }
+    if isinstance(value, (list, tuple)):
+        return [canon(v) for v in value]
+    return value
+
+
+def test_sorted_queue_items_orders_mixed_tier_keys():
+    """Node keys (ints) and socket/NUMA keys (tuples) sort canonically."""
+    queues = {
+        (1, 0): "socket-1-0",
+        1: "node-1",
+        (0, 1, 0): "numa-0-1-0",
+        0: "node-0",
+        (0, 1): "socket-0-1",
+    }
+    assert [key for key, _ in sorted_queue_items(queues)] == [
+        0, (0, 1), (0, 1, 0), 1, (1, 0)
+    ]
+    # order is a property of the keys, not of insertion history
+    reinserted = dict(reversed(list(queues.items())))
+    assert sorted_queue_items(reinserted) == sorted_queue_items(queues)
+
+
+@pytest.mark.parametrize("stack", ["GSS+SS", "GSS+FAC2+SS"])
+def test_counters_survive_permuted_queue_registration(monkeypatch, stack):
+    """Reversing the queue dict's insertion order must not move a single
+    bit of any counter: all reductions walk the canonical tier order."""
+    wl = _workload()
+    cluster = homogeneous(2, 8, sockets_per_node=2)
+    kwargs = dict(inter=stack, approach="mpi+mpi", ppn=8, seed=0,
+                  noise=NO_NOISE)
+
+    baseline = run_hierarchical(wl, cluster, **kwargs)
+
+    original = MpiMpiModel._build_queues
+
+    def reversed_registration(self, run, world, queue, depth, plan=None):
+        queues = original(self, run, world, queue, depth, plan)
+        return dict(reversed(list(queues.items())))
+
+    monkeypatch.setattr(MpiMpiModel, "_build_queues", reversed_registration)
+    permuted = run_hierarchical(wl, cluster, **kwargs)
+
+    assert canon(dict(baseline.counters)) == canon(dict(permuted.counters))
+    assert baseline.parallel_time.hex() == permuted.parallel_time.hex()
+
+
+def test_counters_identical_across_repeat_runs():
+    """Two identical scalar runs agree on every counter bit (the
+    baseline determinism the permutation test refines)."""
+    wl = _workload()
+    kwargs = dict(inter="GSS", intra="SS", ppn=4, seed=0, noise=NO_NOISE)
+    first = run_hierarchical(wl, homogeneous(2, 4), **kwargs)
+    second = run_hierarchical(wl, homogeneous(2, 4), **kwargs)
+    assert canon(dict(first.counters)) == canon(dict(second.counters))

@@ -42,6 +42,7 @@ CHECKED_MODULES = [
     "src/repro/cluster/placement_opt.py",
     "src/repro/cluster/topology.py",
     "src/repro/models/dcc.py",
+    "src/repro/sim/cohorts.py",
 ]
 
 #: every checked module's docstring corpus must state these conventions
